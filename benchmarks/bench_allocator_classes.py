@@ -1,0 +1,114 @@
+"""Testing the paper's closing conjecture (section 5).
+
+"It is worth noting that our current prototype SMA is a simple textbook
+memory allocator without optimizations; adding soft memory
+functionality to a state-of-the-art allocator such as jemalloc or
+TCMalloc would likely further improve performance."
+
+We run a mixed-size server churn workload (where fit policy and free
+coalescing actually matter; the uniform 1 KiB stress case is too kind
+to a bump-style extent allocator) on both allocator cores — the
+textbook extent placer and the TCMalloc-style size-class slab placer —
+for the SMA and for the plain system allocator, and check two things:
+
+1. the slab core is absolutely faster for both (state-of-the-art helps
+   everyone);
+2. the SMA-over-baseline overhead ratio does not get worse on the
+   faster core — soft memory composes with allocator quality, which is
+   what the conjecture needs to be true.
+
+Run:  pytest benchmarks/bench_allocator_classes.py --benchmark-only -q -s
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core.sma import SoftMemoryAllocator
+from repro.mem.placer import PagePlacer
+from repro.mem.sizeclass import SizeClassPlacer
+from repro.mem.sysalloc import SystemAllocator
+from repro.sim.workload import allocation_sizes
+
+OPS = 48_000
+HOLD = 4_000
+SIZES = allocation_sizes(OPS, size=512, jitter=0.9, seed=13)
+CORES = {
+    "textbook-extent": PagePlacer,
+    "size-class-slab": SizeClassPlacer,
+}
+
+
+def run_sma(placer_cls) -> None:
+    rng = random.Random(5)
+    sma = SoftMemoryAllocator(
+        name="bench",
+        initial_budget_pages=OPS,  # ample budget: measure the allocator
+        placer_factory=placer_cls,
+    )
+    ctx = sma.create_context("data")
+    live = []
+    for size in SIZES:
+        if len(live) > HOLD:
+            sma.soft_free(live.pop(rng.randrange(len(live))))
+        live.append(sma.soft_malloc(size, ctx))
+
+
+def run_baseline(placer_cls) -> None:
+    rng = random.Random(5)
+    alloc = SystemAllocator(placer=placer_cls("bench"))
+    live = []
+    for size in SIZES:
+        if len(live) > HOLD:
+            alloc.free(live.pop(rng.randrange(len(live))))
+        live.append(alloc.malloc(size))
+
+
+def _best_of(fn, arg, rounds=3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn(arg)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_allocator_core_conjecture(benchmark):
+    def measure():
+        rows = {}
+        for name, placer_cls in CORES.items():
+            baseline = _best_of(run_baseline, placer_cls)
+            sma = _best_of(run_sma, placer_cls)
+            rows[name] = {
+                "baseline_s": baseline,
+                "sma_s": sma,
+                "ratio": sma / baseline,
+            }
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    print("\n")
+    print("=" * 70)
+    print(f"Allocator-core ablation: {OPS} mixed-size churn ops "
+          f"(~{HOLD} live)")
+    print("-" * 70)
+    print(f"{'core':<18} {'baseline (s)':>13} {'SMA (s)':>10} "
+          f"{'SMA/baseline':>13}")
+    for name, row in rows.items():
+        print(f"{name:<18} {row['baseline_s']:>13.3f} "
+              f"{row['sma_s']:>10.3f} {row['ratio']:>12.2f}x")
+    textbook, slab = rows["textbook-extent"], rows["size-class-slab"]
+    print("-" * 70)
+    print(f"slab core speedup: baseline "
+          f"{textbook['baseline_s'] / slab['baseline_s']:.2f}x, "
+          f"SMA {textbook['sma_s'] / slab['sma_s']:.2f}x")
+    print("=" * 70)
+
+    # The conjecture holds if the better allocator makes the soft-memory
+    # system absolutely faster...
+    assert slab["sma_s"] < textbook["sma_s"]
+    assert slab["baseline_s"] < textbook["baseline_s"]
+    # ...without the soft machinery's relative overhead exploding.
+    assert slab["ratio"] < textbook["ratio"] * 1.5

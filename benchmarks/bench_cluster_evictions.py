@@ -1,0 +1,91 @@
+"""Section 2 claim: soft memory reduces evictions and wasted work.
+
+Sweeps cluster load (by shrinking machine capacity against a fixed
+trace) and compares the kill-based scheduler with the soft-memory-aware
+one on evictions, wasted CPU-seconds, utilization, and turnaround.
+
+Run:  pytest benchmarks/bench_cluster_evictions.py --benchmark-only -q -s
+"""
+
+from __future__ import annotations
+
+from repro.cluster.scheduler import ClusterConfig, ClusterSim, PressurePolicy
+from repro.cluster.trace import TraceConfig, synthetic_trace
+
+SEEDS = (1, 2, 3)
+CAPACITIES = (3072, 2048, 1536)  # light -> heavy load
+
+
+def run_once(policy: PressurePolicy, capacity: int, seed: int):
+    jobs = synthetic_trace(TraceConfig(job_count=150, seed=seed))
+    sim = ClusterSim(
+        jobs,
+        ClusterConfig(
+            policy=policy,
+            machine_count=4,
+            machine_capacity_pages=capacity,
+        ),
+    )
+    return sim.run()
+
+
+def sweep():
+    rows = []
+    for capacity in CAPACITIES:
+        for policy in (PressurePolicy.KILL, PressurePolicy.SOFT):
+            evictions = wasted = completed = util = turnaround = 0.0
+            for seed in SEEDS:
+                m = run_once(policy, capacity, seed)
+                evictions += m.evictions
+                wasted += m.wasted_cpu_seconds
+                completed += m.completed_jobs
+                util += m.mean_utilization
+                turnaround += m.mean_turnaround
+            n = len(SEEDS)
+            rows.append({
+                "capacity": capacity,
+                "policy": policy.value,
+                "evictions": evictions,
+                "wasted_cpu_s": wasted,
+                "completed": completed,
+                "mean_util": util / n,
+                "turnaround_s": turnaround / n,
+            })
+    return rows
+
+
+def test_eviction_sweep(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\n")
+    print("=" * 78)
+    print("Cluster pressure handling: kill-based vs soft memory "
+          f"(150 jobs x {len(SEEDS)} seeds)")
+    print("-" * 78)
+    print(f"{'cap/machine':>11} {'policy':<6} {'evictions':>9} "
+          f"{'wasted cpu-s':>12} {'completed':>9} {'util':>6} "
+          f"{'turnaround':>10}")
+    for row in rows:
+        print(f"{row['capacity']:>11} {row['policy']:<6} "
+              f"{row['evictions']:>9.0f} {row['wasted_cpu_s']:>12.0f} "
+              f"{row['completed']:>9.0f} {row['mean_util']:>6.3f} "
+              f"{row['turnaround_s']:>10.1f}")
+    print("=" * 78)
+
+    # Reproduction contract. At every load level soft memory wastes
+    # less work and completes at least as many jobs. Raw eviction
+    # counts must be lower at light/moderate load; at extreme overload
+    # the comparison is not apples-to-apples (the kill world cannot
+    # even place jobs whose cache-inclusive ask exceeds a machine, so
+    # it runs less work), which the table shows honestly.
+    by_cap: dict[int, dict[str, dict]] = {}
+    for row in rows:
+        by_cap.setdefault(row["capacity"], {})[row["policy"]] = row
+    for capacity, pair in by_cap.items():
+        assert pair["soft"]["wasted_cpu_s"] < pair["kill"]["wasted_cpu_s"], (
+            capacity
+        )
+        assert pair["soft"]["completed"] >= pair["kill"]["completed"]
+    for capacity in CAPACITIES[:2]:
+        pair = by_cap[capacity]
+        assert pair["soft"]["evictions"] < pair["kill"]["evictions"], capacity

@@ -1,0 +1,107 @@
+"""Section 2's diurnal use-case: nightly cache harvesting.
+
+"During nocturnal lulls in traffic, the web service can operate on a
+much smaller cache footprint [...] when batch jobs in the datacenter
+scale up at night, they can reclaim part of the cache memory. The cache
+can be scaled back up during the day."
+
+The bench simulates two days in 2-hour steps and regenerates the cache
+and batch footprint series, checking the expected shape: anti-phase
+footprints — cache high by day, batch high by night — with nobody
+denied and nobody killed.
+
+Run:  pytest benchmarks/bench_diurnal.py --benchmark-only -q -s
+"""
+
+from __future__ import annotations
+
+from repro.daemon.policy import SelectionConfig
+from repro.daemon.smd import SmdConfig
+from repro.kvstore.store import DataStore, StoreConfig
+from repro.sds.soft_linked_list import SoftLinkedList
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.workload import DiurnalLoad
+from repro.util.units import MIB, PAGE_SIZE
+
+HOUR = 3600.0
+STEP_HOURS = 2
+DAYS = 2
+
+
+def run_days():
+    machine = Machine(MachineConfig(
+        total_memory_bytes=48 * MIB,
+        soft_capacity_bytes=12 * MIB,
+        smd=SmdConfig(selection=SelectionConfig(allow_self_reclaim=True)),
+    ))
+    web = machine.spawn("web", traditional_pages=1024)
+    batch = machine.spawn("batch", traditional_pages=256)
+    store = DataStore(web.sma, StoreConfig(time_fn=lambda: machine.clock.now))
+    load = DiurnalLoad(peak_rps=1000, trough_rps=100)
+
+    samples = []
+    key_seq = 0
+    batch_scratch = None
+    steps = (DAYS * 24) // STEP_HOURS + 1
+    for step in range(steps):
+        t = step * STEP_HOURS * HOUR
+        machine.clock.advance_to(t)
+        night = load.is_trough(t)
+        if night:
+            if batch_scratch is None:
+                batch_scratch = SoftLinkedList(
+                    batch.sma, name=f"scratch@{step}",
+                    element_size=PAGE_SIZE)
+                for i in range((8 * MIB) // PAGE_SIZE):
+                    batch_scratch.append(i)
+        else:
+            if batch_scratch is not None:
+                while batch_scratch:
+                    batch_scratch.pop_front()
+                batch.sma.return_excess()
+                batch_scratch = None
+            for _ in range(int(load.rate(t) * 12)):
+                store.set(f"obj:{key_seq:08d}".encode(), b"x" * 64)
+                key_seq += 1
+        samples.append({
+            "hour": t / HOUR,
+            "night": night,
+            "cache_mib": web.sma.soft_bytes / MIB,
+            "batch_mib": batch.sma.soft_bytes / MIB,
+        })
+    return machine, store, samples
+
+
+def test_diurnal_harvest(benchmark):
+    machine, store, samples = benchmark.pedantic(
+        run_days, rounds=1, iterations=1
+    )
+
+    print("\n")
+    print("=" * 60)
+    print("Diurnal cache harvesting: two simulated days")
+    print("-" * 60)
+    print(f"{'hour':>5} {'phase':<6} {'cache MiB':>10} {'batch MiB':>10}")
+    for s in samples:
+        print(f"{s['hour']:>5.0f} {'night' if s['night'] else 'day':<6} "
+              f"{s['cache_mib']:>10.2f} {s['batch_mib']:>10.2f}")
+    print("-" * 60)
+    print(f"cache entries harvested overnight: "
+          f"{store.stats.reclaimed_keys}")
+    print(f"reclamation episodes: {machine.smd.reclamation_episodes}  "
+          f"denials: {machine.smd.denials}")
+    print("=" * 60)
+
+    # Shape: batch footprint is high at night, ~zero by day; the cache
+    # is larger by day than at night (after the first warm-up day).
+    night = [s for s in samples if s["night"]]
+    day = [s for s in samples if not s["night"]]
+    assert all(s["batch_mib"] > 6 for s in night)
+    assert all(s["batch_mib"] < 1 for s in day)
+    second_day = [s for s in samples if not s["night"] and s["hour"] >= 24]
+    second_night = [s for s in night if s["hour"] >= 40]
+    assert max(s["cache_mib"] for s in second_day) > max(
+        s["cache_mib"] for s in second_night
+    )
+    assert store.stats.reclaimed_keys > 0
+    assert machine.smd.denials == 0

@@ -1,0 +1,172 @@
+"""Section 3.1 efficacy ablation: why per-SDS heaps?
+
+The paper's trade-off: "A policy where allocations are freed
+arbitrarily from the heap until enough entire pages are free would
+result in large numbers of allocation frees [...]. A policy where each
+allocation gets its own page permits straightforward reclamation but
+wastes copious amounts of space."
+
+We quantify all three points of the spectrum on the same workload of
+four interleaved data structures:
+
+* per-SDS heaps (the paper's design): frees localized in one heap,
+* one shared heap: victim frees scatter across pages interleaved with
+  other structures' live allocations,
+* page-per-allocation: one free per page, but ~16x space waste at
+  256-byte allocations.
+
+Metric: allocation frees needed to produce an 8-page reclamation, and
+bytes of memory used per byte of payload.
+
+Run:  pytest benchmarks/bench_heap_policy.py --benchmark-only -q -s
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.sma import SoftMemoryAllocator
+from repro.util.units import PAGE_SIZE
+
+ALLOC_SIZE = 256
+STRUCTURES = 4
+ELEMENTS_PER_STRUCTURE = 1024
+QUOTA_PAGES = 8
+
+
+def _fill(sma, contexts, interleave: bool):
+    """Allocate round-robin (interleave=True) or structure-at-a-time."""
+    ptrs = {ctx.name: deque() for ctx in contexts}
+    if interleave:
+        for i in range(ELEMENTS_PER_STRUCTURE):
+            for ctx in contexts:
+                ptrs[ctx.name].append(sma.soft_malloc(ALLOC_SIZE, ctx, i))
+    else:
+        for ctx in contexts:
+            for i in range(ELEMENTS_PER_STRUCTURE):
+                ptrs[ctx.name].append(sma.soft_malloc(ALLOC_SIZE, ctx, i))
+    return ptrs
+
+
+def _install_handlers(sma, contexts, ptrs):
+    for ctx in contexts:
+        queue = ptrs[ctx.name]
+
+        def handler(quota, ctx=ctx, queue=queue):
+            while ctx.heap.free_page_count < quota and queue:
+                sma.reclaim_free(queue.popleft())
+            return ctx.heap.free_page_count
+
+        ctx.reclaim_handler = handler
+
+
+def run_per_sds_heaps():
+    """The paper's design: each structure has its own heap."""
+    sma = SoftMemoryAllocator(name="per-sds")
+    contexts = [sma.create_context(f"sds{i}") for i in range(STRUCTURES)]
+    ptrs = _fill(sma, contexts, interleave=True)
+    _install_handlers(sma, contexts, ptrs)
+    stats = sma.reclaim(QUOTA_PAGES)
+    payload = STRUCTURES * ELEMENTS_PER_STRUCTURE * ALLOC_SIZE
+    return {
+        "policy": "per-SDS heaps (paper)",
+        "frees": stats.allocations_freed,
+        "pages_freed": stats.pages_reclaimed,
+        "space_overhead": (sma.held_pages + stats.pages_reclaimed)
+        * PAGE_SIZE / payload,
+    }
+
+
+def run_shared_heap():
+    """Strawman 1: all structures share one heap (interleaved pages).
+
+    Oldest-first freeing round-robins across structures, so the frees
+    land spread over the same pages and whole pages free up slowly.
+    """
+    sma = SoftMemoryAllocator(name="shared")
+    shared = sma.create_context("shared")
+    # interleaved ages: round-robin between four logical structures
+    queue: deque = deque()
+    for i in range(ELEMENTS_PER_STRUCTURE):
+        for s in range(STRUCTURES):
+            queue.append(sma.soft_malloc(ALLOC_SIZE, shared, (s, i)))
+
+    # victims are chosen per-structure (like reclaiming one SDS), but
+    # the allocations sit interleaved in the shared heap's pages
+    def handler(quota):
+        while shared.heap.free_page_count < quota and queue:
+            # free logical structure 0's elements, oldest first
+            for ptr in list(queue):
+                if ptr.deref()[0] == 0:
+                    queue.remove(ptr)
+                    sma.reclaim_free(ptr)
+                    break
+            else:
+                sma.reclaim_free(queue.popleft())
+            if shared.heap.free_page_count >= quota:
+                break
+        return shared.heap.free_page_count
+
+    shared.reclaim_handler = handler
+    stats = sma.reclaim(QUOTA_PAGES)
+    payload = STRUCTURES * ELEMENTS_PER_STRUCTURE * ALLOC_SIZE
+    return {
+        "policy": "one shared heap",
+        "frees": stats.allocations_freed,
+        "pages_freed": stats.pages_reclaimed,
+        "space_overhead": (sma.held_pages + stats.pages_reclaimed)
+        * PAGE_SIZE / payload,
+    }
+
+
+def run_page_per_allocation():
+    """Strawman 2: every allocation gets its own page."""
+    sma = SoftMemoryAllocator(name="page-per")
+    contexts = [sma.create_context(f"sds{i}") for i in range(STRUCTURES)]
+    ptrs = {ctx.name: deque() for ctx in contexts}
+    # round up every allocation to a whole page
+    for i in range(ELEMENTS_PER_STRUCTURE):
+        for ctx in contexts:
+            ptrs[ctx.name].append(sma.soft_malloc(PAGE_SIZE, ctx, i))
+    _install_handlers(sma, contexts, ptrs)
+    stats = sma.reclaim(QUOTA_PAGES)
+    payload = STRUCTURES * ELEMENTS_PER_STRUCTURE * ALLOC_SIZE
+    return {
+        "policy": "page per allocation",
+        "frees": stats.allocations_freed,
+        "pages_freed": stats.pages_reclaimed,
+        "space_overhead": (sma.held_pages + stats.pages_reclaimed)
+        * PAGE_SIZE / payload,
+    }
+
+
+def test_heap_policy_ablation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [
+            run_per_sds_heaps(),
+            run_shared_heap(),
+            run_page_per_allocation(),
+        ],
+        rounds=1, iterations=1,
+    )
+
+    print("\n")
+    print("=" * 70)
+    print(f"Heap-policy ablation: reclaim {QUOTA_PAGES} pages from "
+          f"{STRUCTURES} structures x {ELEMENTS_PER_STRUCTURE} x "
+          f"{ALLOC_SIZE} B")
+    print("-" * 70)
+    print(f"{'policy':<24} {'frees needed':>12} {'pages freed':>12} "
+          f"{'space overhead':>15}")
+    for row in rows:
+        print(f"{row['policy']:<24} {row['frees']:>12} "
+              f"{row['pages_freed']:>12} {row['space_overhead']:>14.1f}x")
+    print("=" * 70)
+
+    per_sds, shared, page_per = rows
+    # The paper's design needs far fewer frees than a shared heap...
+    assert per_sds["frees"] < shared["frees"]
+    # ...and far less space than page-per-allocation.
+    assert per_sds["space_overhead"] < page_per["space_overhead"] / 4
+    # page-per-allocation needs exactly one free per page
+    assert page_per["frees"] == page_per["pages_freed"]

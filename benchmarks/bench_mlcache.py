@@ -1,0 +1,93 @@
+"""Section 2's ML-cache use-case: throughput vs (soft) cache size.
+
+"Increasing cache size via soft memory can provide performance gains
+while productively using otherwise idle memory. Once this memory is
+needed again, the soft memory subsystem re-configures the cache to its
+original size. This slows down the ML training, but makes memory
+available for other workloads."
+
+Two series: (a) warm-epoch training throughput as the cache fraction
+grows, and (b) throughput across a reclamation event mid-training.
+
+Run:  pytest benchmarks/bench_mlcache.py --benchmark-only -q -s
+"""
+
+from __future__ import annotations
+
+from repro.core.sma import SoftMemoryAllocator
+from repro.mlcache.cache import InformedCache
+from repro.mlcache.dataset import SyntheticDataset
+from repro.mlcache.trainer import TrainerConfig, TrainerSim
+
+FRACTIONS = (0.001, 0.25, 0.5, 0.75, 1.0)
+
+
+def sweep_fractions():
+    dataset = SyntheticDataset(sample_count=5000, fetch_cost=2e-3)
+    rows = []
+    for fraction in FRACTIONS:
+        sma = SoftMemoryAllocator(name=f"trainer-{fraction}")
+        cache = InformedCache(sma, dataset, target_fraction=fraction)
+        trainer = TrainerSim(dataset, cache, TrainerConfig(epochs=2))
+        warm = trainer.run()[-1]
+        rows.append({
+            "fraction": fraction,
+            "throughput": warm.throughput,
+            "hit_rate": warm.hits / (warm.hits + warm.fetches),
+            "io_bound_steps": warm.io_bound_steps,
+        })
+    return rows
+
+
+def reclamation_episode():
+    dataset = SyntheticDataset(sample_count=5000, fetch_cost=2e-3)
+    sma = SoftMemoryAllocator(name="trainer")
+    cache = InformedCache(sma, dataset, target_fraction=1.0)
+    trainer = TrainerSim(dataset, cache)
+    trainer.run_epoch(0)
+    warm = trainer.run_epoch(1)
+    sma.reclaim(sma.held_pages * 3 // 4)  # the machine needs 75% back
+    shrunk = trainer.run_epoch(2)
+    return warm, shrunk, cache
+
+
+def test_throughput_vs_cache_size(benchmark):
+    rows = benchmark.pedantic(sweep_fractions, rounds=1, iterations=1)
+
+    print("\n")
+    print("=" * 62)
+    print("ML training throughput vs soft cache size (warm epochs)")
+    print("-" * 62)
+    print(f"{'cache fraction':>14} {'samples/s':>10} {'hit rate':>9} "
+          f"{'io-bound steps':>15}")
+    for row in rows:
+        print(f"{row['fraction']:>14.0%} {row['throughput']:>10.0f} "
+              f"{row['hit_rate']:>9.2f} {row['io_bound_steps']:>15}")
+    print("=" * 62)
+
+    throughputs = [r["throughput"] for r in rows]
+    assert throughputs == sorted(throughputs), "monotone in cache size"
+    assert throughputs[-1] > 1.4 * throughputs[0]
+    assert rows[-1]["io_bound_steps"] == 0  # full cache: compute-bound
+
+
+def test_reclamation_slows_but_does_not_kill(benchmark):
+    warm, shrunk, cache = benchmark.pedantic(
+        reclamation_episode, rounds=1, iterations=1
+    )
+
+    print("\n")
+    print("=" * 62)
+    print("Reclaiming 75% of the training cache mid-job")
+    print("-" * 62)
+    print(f"warm epoch:   {warm.throughput:8.0f} samples/s")
+    print(f"after shrink: {shrunk.throughput:8.0f} samples/s "
+          f"({shrunk.throughput / warm.throughput:.0%} of warm)")
+    print(f"cache evictions: {cache.evictions}; training completed the "
+          f"epoch on the full dataset")
+    print("=" * 62)
+
+    assert shrunk.throughput < warm.throughput
+    assert cache.evictions > 0
+    # the epoch still covered the whole dataset — nothing was killed
+    assert shrunk.hits + shrunk.fetches == 5000

@@ -1,0 +1,84 @@
+"""Section 4 ablation: the fixed over-reclamation percentage.
+
+"The SMD demands a fixed memory percentage upon reclamation, which may
+exceed the immediate soft memory request, in order to amortize
+reclamation costs."
+
+We replay the same stream of small requests under different
+over-reclaim fractions and measure the amortization trade-off:
+fewer reclamation episodes (good: each disturbs a victim and costs a
+round-trip) against more pages taken from victims than strictly needed
+(bad: lost cache entries).
+
+Run:  pytest benchmarks/bench_over_reclaim.py --benchmark-only -q -s
+"""
+
+from __future__ import annotations
+
+from repro.core.sma import SoftMemoryAllocator
+from repro.daemon.policy import SelectionConfig
+from repro.daemon.smd import SmdConfig, SoftMemoryDaemon
+from repro.sds.soft_linked_list import SoftLinkedList
+from repro.util.units import PAGE_SIZE
+
+FRACTIONS = (0.0, 0.1, 0.25, 0.5)
+REQUEST_PAGES = 40
+
+
+def run_fraction(frac: float):
+    smd = SoftMemoryDaemon(
+        soft_capacity_pages=100,
+        config=SmdConfig(
+            selection=SelectionConfig(over_reclaim_frac=frac)
+        ),
+    )
+    victim = SoftMemoryAllocator(name="victim", request_batch_pages=1)
+    smd.register(victim, traditional_pages=500)
+    cache = SoftLinkedList(victim, element_size=PAGE_SIZE)
+    for i in range(100):  # victim fills the whole capacity
+        cache.append(i)
+
+    requester = SoftMemoryAllocator(name="req", request_batch_pages=1)
+    smd.register(requester, traditional_pages=10)
+    scratch = SoftLinkedList(requester, element_size=PAGE_SIZE)
+    for i in range(REQUEST_PAGES):  # page-sized requests, one at a time
+        scratch.append(i)
+
+    victim_rec = next(r for r in smd.registry if r.name == "victim")
+    return {
+        "frac": frac,
+        "episodes": smd.reclamation_episodes,
+        "pages_taken": victim_rec.pages_reclaimed_from,
+        "entries_lost": victim.contexts[0].allocations_reclaimed,
+        "excess_pages": victim_rec.pages_reclaimed_from - REQUEST_PAGES,
+    }
+
+
+def test_over_reclaim_amortization(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [run_fraction(f) for f in FRACTIONS],
+        rounds=1, iterations=1,
+    )
+
+    print("\n")
+    print("=" * 66)
+    print(f"Over-reclamation ablation: {REQUEST_PAGES} one-page requests "
+          "against a full machine")
+    print("-" * 66)
+    print(f"{'over-reclaim':>12} {'episodes':>9} {'pages taken':>12} "
+          f"{'excess':>7} {'entries lost':>13}")
+    for row in rows:
+        print(f"{row['frac']:>12.0%} {row['episodes']:>9} "
+              f"{row['pages_taken']:>12} {row['excess_pages']:>7} "
+              f"{row['entries_lost']:>13}")
+    print("=" * 66)
+
+    # Amortization: higher fractions -> fewer (or equal) episodes...
+    episodes = [r["episodes"] for r in rows]
+    assert episodes == sorted(episodes, reverse=True)
+    assert rows[-1]["episodes"] < rows[0]["episodes"]
+    # ...at the price of taking extra pages beyond the requests.
+    assert rows[0]["excess_pages"] == 0
+    assert rows[-1]["excess_pages"] > 0
+    # every setting ultimately satisfies all requests
+    assert all(r["pages_taken"] >= REQUEST_PAGES for r in rows)

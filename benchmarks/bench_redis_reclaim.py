@@ -1,0 +1,85 @@
+"""Section 5's Redis comparison: reclamation vs kill-and-restart.
+
+"Without soft memory, Redis would crash under memory pressure. The cost
+of such a termination is a minimum of 12 ms of downtime for Redis to
+restart, with an additional, load-dependent period of increased tail
+latency while the cache refills."
+
+This bench puts numbers to the comparison at the paper's scale: the
+same 2 MiB of pressure handled (a) by soft memory reclamation (~26 K
+entries die, rest stay warm) and (b) by killing Redis (everything dies,
+12 ms downtime, then the working set refills at the request rate). It
+also wall-clock-measures the reclamation path itself.
+
+Run:  pytest benchmarks/bench_redis_reclaim.py --benchmark-only -q -s
+"""
+
+from __future__ import annotations
+
+from repro.baselines.kill import KillRestartModel
+from repro.core.sma import SoftMemoryAllocator
+from repro.kvstore.store import DataStore
+from repro.sim.costs import CostModel
+from repro.util.units import MIB
+
+
+def build_store() -> DataStore:
+    sma = SoftMemoryAllocator(name="redis", request_batch_pages=64)
+    store = DataStore(sma)
+    for i in range(130_000):
+        store.set(f"key:{i:07d}".encode(), f"val:{i:07d}".encode())
+    return store
+
+
+def reclaim_2mib(store: DataStore) -> int:
+    stats = store.sma.reclaim((2 * MIB) // 4096)
+    return stats.allocations_freed
+
+
+def test_reclamation_path_wall_clock(benchmark):
+    """Wall-clock cost of reclaiming 2 MiB from a full 130 K-pair store."""
+    def setup():
+        return (build_store(),), {}
+
+    freed = benchmark.pedantic(reclaim_2mib, setup=setup, rounds=3)
+    assert freed > 10_000
+
+
+def test_reclaim_vs_kill_comparison(benchmark):
+    costs = CostModel()
+    kill_model = KillRestartModel(costs)
+    store = benchmark.pedantic(build_store, rounds=1, iterations=1)
+    entries = store.dbsize()
+    stats = store.sma.reclaim((2 * MIB) // 4096)
+
+    reclaim_seconds = costs.reclamation_time(stats)
+    survivors = store.dbsize()
+    rows = []
+    for rate in (1_000, 5_000, 20_000):
+        kill = kill_model.episode(entries, request_rate=rate)
+        rows.append((rate, kill))
+
+    print("\n")
+    print("=" * 72)
+    print("Handling 2 MiB of memory pressure against a 130 K-pair store")
+    print("-" * 72)
+    print(f"soft memory reclamation: {stats.allocations_freed} entries "
+          f"dropped, {survivors} stay warm")
+    print(f"  simulated cost: {reclaim_seconds:.2f}s of callback cleanup "
+          f"(paper: 3.75s); zero downtime")
+    print("-" * 72)
+    print("kill-and-restart at various request rates "
+          "(all entries lost, cache cold):")
+    print(f"{'req/s':>8} {'downtime':>10} {'refill':>10} {'total':>10}")
+    for rate, kill in rows:
+        print(f"{rate:>8} {kill.downtime_seconds:>9.3f}s "
+              f"{kill.refill_seconds:>9.1f}s "
+              f"{kill.total_disruption_seconds:>9.1f}s")
+    print("=" * 72)
+
+    # Reproduction contract: reclamation beats killing at every load.
+    for __, kill in rows:
+        assert kill.total_disruption_seconds > reclaim_seconds
+    assert survivors > entries * 0.7  # most of the cache stayed warm
+    # 12 ms restart floor straight from the paper
+    assert rows[0][1].downtime_seconds == 12e-3

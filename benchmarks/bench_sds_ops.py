@@ -1,0 +1,102 @@
+"""Micro-benchmarks: per-operation cost of each soft data structure.
+
+Not a paper figure — the operation-cost table any allocator release
+ships. Uses pytest-benchmark's statistics properly (many rounds), so
+regressions in the hot paths (soft_malloc placement, pointer checks,
+eviction) show up as timing changes here before they distort the
+paper-level benches.
+
+Run:  pytest benchmarks/bench_sds_ops.py --benchmark-only -q
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sma import SoftMemoryAllocator
+from repro.sds.sache import Sache
+from repro.sds.soft_buffer import SoftBuffer
+from repro.sds.soft_hash_table import SoftHashTable
+from repro.sds.soft_linked_list import SoftLinkedList
+from repro.sds.soft_lru_cache import SoftLRUCache
+
+
+@pytest.fixture
+def sma():
+    return SoftMemoryAllocator(name="ops", request_batch_pages=64)
+
+
+def test_list_append(benchmark, sma):
+    lst = SoftLinkedList(sma, element_size=256)
+    benchmark(lst.append, "value")
+
+
+def test_list_append_pop_cycle(benchmark, sma):
+    lst = SoftLinkedList(sma, element_size=256)
+    for i in range(64):
+        lst.append(i)
+
+    def cycle():
+        lst.append("x")
+        lst.pop_front()
+
+    benchmark(cycle)
+
+
+def test_table_put_overwrite(benchmark, sma):
+    table = SoftHashTable(sma, entry_size=128)
+
+    def put():
+        table.put("key", "value")
+
+    benchmark(put)
+
+
+def test_table_get_hit(benchmark, sma):
+    table = SoftHashTable(sma, entry_size=128)
+    for i in range(1000):
+        table.put(i, i)
+    benchmark(table.get, 500)
+
+
+def test_lru_get_hit(benchmark, sma):
+    cache = SoftLRUCache(sma, entry_size=128)
+    for i in range(1000):
+        cache.put(i, i)
+    benchmark(cache.get, 500)
+
+
+def test_sache_hit(benchmark, sma):
+    sache = Sache(sma, compute=lambda k: k * 2, entry_size=128)
+    sache.get(7)
+    benchmark(sache.get, 7)
+
+
+def test_buffer_write_small(benchmark, sma):
+    buf = SoftBuffer(sma)
+    chunk = b"x" * 256
+    benchmark(buf.write, chunk)
+
+
+def test_eviction_oldest(benchmark, sma):
+    lst = SoftLinkedList(sma, element_size=256)
+
+    def evict_after_refill():
+        if not len(lst):
+            for i in range(128):
+                lst.append(i)
+        lst.evict_one()
+
+    benchmark(evict_after_refill)
+
+
+def test_reclaim_one_page(benchmark, sma):
+    lst = SoftLinkedList(sma, element_size=1024)
+
+    def reclaim_after_refill():
+        if len(lst) < 4:
+            for i in range(256):
+                lst.append(i)
+        sma.reclaim(1)
+
+    benchmark(reclaim_after_refill)

@@ -1,0 +1,166 @@
+"""Section 5 stress tests: SMA vs the system allocator.
+
+The paper's three settings, all with 1 KiB allocations:
+
+1. one process allocates with sufficient pre-granted budget  -> 1.22x
+2. same, but the budget grows via daemon round-trips         -> 1.23x
+   (communication amortized over many allocations)
+3. two processes fill soft memory; further allocations force
+   reclaiming and moving memory from the other process       -> 1.44x
+   (vs the same allocations without pressure)
+
+We scale the counts down (977 K -> 64 K; 500 K -> 16 K) so the bench
+suite stays fast; the *ratios* are the result, and they are
+count-independent beyond cache-warmup noise.
+
+Run:  pytest benchmarks/bench_stress.py --benchmark-only -q -s
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+import pytest
+
+from repro.core.sma import SoftMemoryAllocator
+from repro.daemon.smd import SoftMemoryDaemon
+from repro.mem.sysalloc import SystemAllocator
+from repro.util.units import KIB, PAGE_SIZE
+
+ALLOCS = 64_000
+PRESSURE_ALLOCS = 16_000
+SIZE = KIB
+
+PAPER_RATIOS = {"case1": 1.22, "case2": 1.23, "case3": 1.44}
+_measured: dict[str, float] = {}
+
+
+def run_system_allocator(count: int = ALLOCS) -> None:
+    alloc = SystemAllocator()
+    for _ in range(count):
+        alloc.malloc(SIZE)
+
+
+def run_case1() -> None:
+    """Sufficient budget: no daemon traffic at all."""
+    pages = ALLOCS // (PAGE_SIZE // SIZE) + 1
+    sma = SoftMemoryAllocator(name="case1", initial_budget_pages=pages)
+    ctx = sma.create_context("data")
+    for _ in range(ALLOCS):
+        sma.soft_malloc(SIZE, ctx)
+
+
+def run_case2() -> None:
+    """Budget grown through a real daemon, batched requests."""
+    smd = SoftMemoryDaemon(soft_capacity_pages=ALLOCS)
+    sma = SoftMemoryAllocator(name="case2", request_batch_pages=64)
+    smd.register(sma)
+    ctx = sma.create_context("data")
+    for _ in range(ALLOCS):
+        sma.soft_malloc(SIZE, ctx)
+
+
+def _pressure_setup():
+    """Two processes fill the machine's soft capacity completely."""
+    capacity = (2 * ALLOCS) // (PAGE_SIZE // SIZE)
+    smd = SoftMemoryDaemon(soft_capacity_pages=capacity)
+    donor = SoftMemoryAllocator(name="donor", request_batch_pages=64)
+    taker = SoftMemoryAllocator(name="taker", request_batch_pages=64)
+    smd.register(donor, traditional_pages=1000)
+    smd.register(taker, traditional_pages=10)
+    donor_ctx = donor.create_context("data")
+    donor_ptrs = deque()
+    for _ in range(ALLOCS):
+        donor_ptrs.append(donor.soft_malloc(SIZE, donor_ctx, None))
+    donor_ctx.reclaim_handler = _handler_for(donor, donor_ctx, donor_ptrs)
+    taker_ctx = taker.create_context("data")
+    for _ in range(ALLOCS):
+        taker.soft_malloc(SIZE, taker_ctx)
+    return taker, taker_ctx
+
+
+def _handler_for(sma, ctx, ptrs):
+    """Oldest-first reclaim handler over a raw allocation list."""
+    def handler(quota_pages: int) -> int:
+        heap = ctx.heap
+        while heap.free_page_count < quota_pages and ptrs:
+            sma.reclaim_free(ptrs.popleft())
+        return heap.free_page_count
+
+    return handler
+
+
+def run_case3(taker, taker_ctx) -> None:
+    """Allocations under pressure: every page is stolen from the donor."""
+    for _ in range(PRESSURE_ALLOCS):
+        taker.soft_malloc(SIZE, taker_ctx)
+
+
+def _time(fn, *args) -> float:
+    start = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - start
+
+
+@pytest.fixture(scope="module")
+def baseline_seconds() -> float:
+    # warm up, then take the best of three
+    run_system_allocator(8_000)
+    return min(_time(run_system_allocator) for _ in range(3))
+
+
+def test_case1_sufficient_budget(benchmark, baseline_seconds):
+    t = benchmark.pedantic(run_case1, rounds=3, iterations=1)
+    measured = min(benchmark.stats.stats.data)
+    _measured["case1"] = measured / baseline_seconds
+
+
+def test_case2_budget_via_daemon(benchmark, baseline_seconds):
+    benchmark.pedantic(run_case2, rounds=3, iterations=1)
+    measured = min(benchmark.stats.stats.data)
+    _measured["case2"] = measured / baseline_seconds
+
+
+def test_case3_under_memory_pressure(benchmark, baseline_seconds):
+    """Paper: the extra 500 K allocations under pressure take 1.44x as
+    long as the same allocations without pressure."""
+    def setup():
+        return _pressure_setup(), {}
+
+    benchmark.pedantic(run_case3, setup=setup, rounds=3)
+    measured = min(benchmark.stats.stats.data)
+    # no-pressure reference for the same allocation count
+    no_pressure = min(
+        _time(_no_pressure_reference) for _ in range(3)
+    )
+    _measured["case3"] = measured / no_pressure
+
+
+def _no_pressure_reference() -> None:
+    pages = PRESSURE_ALLOCS // (PAGE_SIZE // SIZE) + 1
+    sma = SoftMemoryAllocator(name="ref", initial_budget_pages=pages)
+    ctx = sma.create_context("data")
+    for _ in range(PRESSURE_ALLOCS):
+        sma.soft_malloc(SIZE, ctx)
+
+
+def test_report(baseline_seconds, benchmark):
+    """Prints the paper-vs-measured ratio table (run last)."""
+    benchmark.pedantic(lambda: None, rounds=1)
+    print("\n")
+    print("=" * 64)
+    print("Section 5 stress tests: SMA time / system-allocator time")
+    print(f"  ({ALLOCS} x 1 KiB allocations; paper used 977 K)")
+    print("-" * 64)
+    print(f"{'case':<34} {'paper':>8} {'measured':>10}")
+    labels = {
+        "case1": "(1) sufficient budget",
+        "case2": "(2) budget via SMD round-trips",
+        "case3": "(3) reclaiming under pressure",
+    }
+    for case, label in labels.items():
+        measured = _measured.get(case)
+        shown = f"{measured:.2f}x" if measured is not None else "n/a"
+        print(f"{label:<34} {PAPER_RATIOS[case]:>7.2f}x {shown:>10}")
+    print("=" * 64)

@@ -1,0 +1,116 @@
+"""Section 5's tail-latency claim, with percentiles.
+
+"The cost of such a termination is a minimum of 12 ms of downtime for
+Redis to restart, with an additional, load-dependent period of
+increased tail latency while the cache refills."
+
+A web service serves Zipf-distributed requests through the cache; a
+miss pays a database fetch. We measure request-latency percentiles in
+four phases: warm cache, right after a 25 % soft reclamation, right
+after a kill-and-restart (cold cache + downtime), and after the
+post-kill refill. Shape: reclamation bumps the tail a little; killing
+destroys both median and tail until the refill completes.
+
+Run:  pytest benchmarks/bench_tail_latency.py --benchmark-only -q -s
+"""
+
+from __future__ import annotations
+
+from repro.core.sma import SoftMemoryAllocator
+from repro.kvstore.store import DataStore
+from repro.sim.costs import CostModel
+from repro.sim.workload import zipf_key_sampler
+from repro.util.stats import percentile
+
+KEYS = 20_000
+WARMUP_REQUESTS = 40_000
+PHASE_REQUESTS = 6_000
+HIT_COST = 0.2e-3   # cache hit: in-memory lookup + reply
+DB_COST = 5e-3      # miss: database round trip + SET
+COSTS = CostModel()
+
+
+def serve(store, sample, n, extra_first_request=0.0):
+    """Serve ``n`` requests; return (latencies, misses)."""
+    latencies = []
+    misses = 0
+    for i in range(n):
+        key = f"obj:{sample():08d}".encode()
+        latency = extra_first_request if i == 0 else 0.0
+        if store.get(key) is not None:
+            latency += HIT_COST
+        else:
+            latency += DB_COST
+            misses += 1
+            store.set(key, b"x" * 64)
+        latencies.append(latency)
+    return latencies, misses
+
+
+def run_phases():
+    sma = SoftMemoryAllocator(name="redis", request_batch_pages=64)
+    store = DataStore(sma)
+    sample = zipf_key_sampler(KEYS, s=0.99, seed=3)
+
+    serve(store, sample, WARMUP_REQUESTS)  # warm the cache
+    phases = {}
+    phases["warm"] = serve(store, sample, PHASE_REQUESTS)
+
+    # Soft memory pressure: 25% of the cache reclaimed, oldest first —
+    # which, with a Zipf workload, is where the popular keys live.
+    sma.reclaim(sma.held_pages // 4)
+    phases["after-reclaim"] = serve(store, sample, PHASE_REQUESTS)
+    serve(store, sample, WARMUP_REQUESTS // 4)  # re-warm
+
+    # The kill world: everything is lost and the restart blocks.
+    store.flushall()
+    early, early_misses = serve(
+        store, sample, 500, extra_first_request=COSTS.restart_cost
+    )
+    rest, rest_misses = serve(store, sample, PHASE_REQUESTS - 500)
+    phases["after-kill"] = (early + rest, early_misses + rest_misses)
+    phases["  (first 500)"] = (early, early_misses)
+    serve(store, sample, WARMUP_REQUESTS)  # full refill
+    phases["refilled"] = serve(store, sample, PHASE_REQUESTS)
+    return phases
+
+
+def test_tail_latency_phases(benchmark):
+    phases = benchmark.pedantic(run_phases, rounds=1, iterations=1)
+
+    print("\n")
+    print("=" * 66)
+    print("Request latency through pressure events (Zipf reads, ms)")
+    print("-" * 66)
+    print(f"{'phase':<16} {'p50':>8} {'p90':>8} {'p99':>8} {'mean':>8} "
+          f"{'miss %':>7}")
+    stats = {}
+    for name, (lat, misses) in phases.items():
+        row = {
+            "p50": percentile(lat, 50) * 1000,
+            "p90": percentile(lat, 90) * 1000,
+            "p99": percentile(lat, 99) * 1000,
+            "mean": sum(lat) / len(lat) * 1000,
+            "miss": misses / len(lat),
+        }
+        stats[name] = row
+        print(f"{name:<16} {row['p50']:>8.2f} {row['p90']:>8.2f} "
+              f"{row['p99']:>8.2f} {row['mean']:>8.2f} "
+              f"{row['miss']:>6.1%}")
+    print("=" * 66)
+
+    warm, reclaim = stats["warm"], stats["after-reclaim"]
+    kill, refilled = stats["after-kill"], stats["refilled"]
+    early = stats["  (first 500)"]
+    # Reclamation raises mean latency and miss rate (popular keys were
+    # reclaimed oldest-first)...
+    assert reclaim["mean"] > warm["mean"]
+    assert reclaim["miss"] > warm["miss"]
+    # ...but killing is categorically worse: immediately after restart
+    # even the median request is a database fetch.
+    assert early["p50"] >= DB_COST * 1000 * 0.9
+    assert kill["mean"] > reclaim["mean"]
+    assert kill["miss"] > reclaim["miss"]
+    # service recovers fully after the refill
+    assert refilled["p50"] == warm["p50"]
+    assert abs(refilled["miss"] - warm["miss"]) < 0.05

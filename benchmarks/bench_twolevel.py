@@ -1,0 +1,101 @@
+"""Section 2's two-level scheduling, run with real daemons.
+
+The abstract cluster model (`bench_cluster_evictions.py`) treats soft
+memory as page counters. This bench replays a trace through the
+*integrated* cluster — real per-machine SMDs, real SDS caches, real
+reclamation demands — and checks that the paper's division of labour
+holds at both levels:
+
+* the upper level kills only for traditional memory (and rarely);
+* the lower level redistributes thousands of soft pages between
+  co-located jobs without any upper-level involvement;
+* a no-soft-memory control (soft region disabled, caches counted as
+  traditional) shows what the same trace costs without level two.
+
+Run:  pytest benchmarks/bench_twolevel.py --benchmark-only -q -s
+"""
+
+from __future__ import annotations
+
+from repro.cluster.job import JobState
+from repro.cluster.trace import TraceConfig, synthetic_trace
+from repro.cluster.twolevel import IntegratedCluster, TwoLevelConfig
+from repro.util.units import PAGE_SIZE
+
+TRACE = TraceConfig(
+    job_count=80, seed=21, mean_interarrival=3.0,
+    mandatory_median_pages=96,
+)
+# Both worlds get the same 1536-page machines. The soft world carves
+# out a 512-page revocable region and places jobs by their (small)
+# mandatory ask; the control world has (almost) all 1536 pages for
+# placement but must fit each job's full cache-inclusive ask and can
+# never take any of it back.
+MACHINE_PAGES = 1536
+SOFT_REGION_PAGES = 512
+
+
+def run_soft_world():
+    jobs = synthetic_trace(TRACE)
+    sim = IntegratedCluster(jobs, TwoLevelConfig(
+        machine_count=3,
+        machine_memory_bytes=MACHINE_PAGES * PAGE_SIZE,
+        soft_capacity_bytes=SOFT_REGION_PAGES * PAGE_SIZE,
+    ))
+    metrics = sim.run()
+    return jobs, metrics
+
+
+def run_kill_world():
+    """Control: no soft region; the cache is ordinary memory, so it is
+    part of the mandatory ask and only killing relieves pressure."""
+    jobs = synthetic_trace(TRACE)
+    for job in jobs:
+        job.mandatory_pages += job.cache_pages
+        job.cache_pages = 0
+    sim = IntegratedCluster(jobs, TwoLevelConfig(
+        machine_count=3,
+        machine_memory_bytes=MACHINE_PAGES * PAGE_SIZE,
+        soft_capacity_bytes=1 * PAGE_SIZE,  # effectively none
+    ))
+    metrics = sim.run()
+    return jobs, metrics
+
+
+def test_two_level_scheduling(benchmark):
+    (soft_jobs, soft), (kill_jobs, kill) = benchmark.pedantic(
+        lambda: (run_soft_world(), run_kill_world()),
+        rounds=1, iterations=1,
+    )
+
+    print("\n")
+    print("=" * 74)
+    print(f"Two-level scheduling with real per-machine daemons "
+          f"({TRACE.job_count} jobs)")
+    print("-" * 74)
+    print(f"{'world':<12} {'completed':>9} {'evictions':>9} "
+          f"{'wasted':>8} {'episodes':>9} {'pages moved':>12} "
+          f"{'util':>6}")
+    for name, (jobs, m) in (("soft", (soft_jobs, soft)),
+                            ("no-soft", (kill_jobs, kill))):
+        row = m.row()
+        print(f"{name:<12} {row['completed']:>9} {row['evictions']:>9} "
+              f"{row['wasted_cpu_s']:>8.0f} {row['episodes']:>9} "
+              f"{row['pages_moved']:>12} {row['mean_util']:>6.3f}")
+    impossible_soft = sum(
+        1 for j in soft_jobs if j.state is JobState.IMPOSSIBLE)
+    impossible_kill = sum(
+        1 for j in kill_jobs if j.state is JobState.IMPOSSIBLE)
+    print("-" * 74)
+    print(f"unschedulable jobs: soft={impossible_soft} "
+          f"no-soft={impossible_kill} (cache-inclusive asks do not fit)")
+    print("=" * 74)
+
+    # Level two did real work in the soft world...
+    assert soft.reclamation_episodes > 0
+    assert soft.pages_redistributed > 100
+    # ...and the upper level had less killing to do.
+    assert soft.evictions <= kill.evictions
+    assert soft.completed_jobs >= kill.completed_jobs
+    # soft memory also schedules jobs the kill world cannot place
+    assert impossible_soft <= impossible_kill

@@ -1,0 +1,88 @@
+"""Section 3.3 / 7 policy ablation: which weight metric is fair?
+
+The paper's criteria: soft-heavy processes (who did the system a
+favour) must not be disturbed disproportionally often. We run the same
+pressure workload under each weight policy and measure how reclamation
+lands on a *soft-heavy* process vs a *traditional-heavy* process with
+the same total footprint.
+
+Run:  pytest benchmarks/bench_weight_policies.py --benchmark-only -q -s
+"""
+
+from __future__ import annotations
+
+from repro.core.sma import SoftMemoryAllocator
+from repro.daemon.policy import SelectionConfig
+from repro.daemon.smd import SmdConfig, SoftMemoryDaemon
+from repro.daemon.weights import WEIGHT_POLICIES
+from repro.sds.soft_linked_list import SoftLinkedList
+from repro.util.units import PAGE_SIZE
+
+
+def run_policy(policy_name: str):
+    """Two equal-total-footprint processes; repeated pressure episodes."""
+    smd = SoftMemoryDaemon(
+        soft_capacity_pages=200,
+        config=SmdConfig(selection=SelectionConfig(
+            weight_fn=WEIGHT_POLICIES[policy_name],
+            over_reclaim_frac=0.1,
+        )),
+    )
+    # soft-heavy: 20 traditional + 90 soft; trad-heavy: 90 + 90... same
+    # soft so the weight difference comes from composition alone.
+    soft_heavy = SoftMemoryAllocator(name="soft-heavy", request_batch_pages=1)
+    trad_heavy = SoftMemoryAllocator(name="trad-heavy", request_batch_pages=1)
+    smd.register(soft_heavy, traditional_pages=20)
+    smd.register(trad_heavy, traditional_pages=160)
+    for sma in (soft_heavy, trad_heavy):
+        lst = SoftLinkedList(sma, element_size=PAGE_SIZE)
+        for i in range(90):
+            lst.append(i)
+
+    # a stream of newcomers applies pressure repeatedly
+    presser = SoftMemoryAllocator(name="presser", request_batch_pages=1)
+    smd.register(presser, traditional_pages=10)
+    plist = SoftLinkedList(presser, element_size=PAGE_SIZE)
+    for i in range(40):
+        plist.append(i)
+
+    records = {r.name: r for r in smd.registry}
+    return {
+        "policy": policy_name,
+        "from_soft_heavy": records["soft-heavy"].pages_reclaimed_from,
+        "from_trad_heavy": records["trad-heavy"].pages_reclaimed_from,
+        "soft_heavy_demands": records["soft-heavy"].demands_received,
+        "trad_heavy_demands": records["trad-heavy"].demands_received,
+    }
+
+
+def test_weight_policy_ablation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [run_policy(name) for name in WEIGHT_POLICIES],
+        rounds=1, iterations=1,
+    )
+
+    print("\n")
+    print("=" * 70)
+    print("Weight-policy ablation: 40 pages of pressure against two")
+    print("90-page-soft processes (traditional: 20 vs 160 pages)")
+    print("-" * 70)
+    print(f"{'policy':<18} {'from soft-heavy':>16} {'from trad-heavy':>16}")
+    for row in rows:
+        print(f"{row['policy']:<18} {row['from_soft_heavy']:>16} "
+              f"{row['from_trad_heavy']:>16}")
+    print("=" * 70)
+
+    by_name = {r["policy"]: r for r in rows}
+    # Paper policy: the traditional-heavy process bears the burden.
+    paper = by_name["paper"]
+    assert paper["from_trad_heavy"] > paper["from_soft_heavy"]
+    # soft-only: punishes soft adopters the most among all policies
+    # (both hold equal soft, so it cannot protect the soft-heavy one).
+    soft_only = by_name["soft-only"]
+    assert (
+        soft_only["from_soft_heavy"] >= paper["from_soft_heavy"]
+    )
+    # traditional-only also protects the soft-heavy process
+    trad_only = by_name["traditional-only"]
+    assert trad_only["from_trad_heavy"] > trad_only["from_soft_heavy"]

@@ -1,0 +1,59 @@
+"""Quickstart: soft memory in 60 lines.
+
+Two processes share a machine with 20 MiB of soft capacity. A cache
+service fills soft memory; a batch job then asks for more than what is
+free, and the daemon *moves* memory between them instead of killing
+anyone — the core loop of the paper's Figure 1.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    MIB,
+    PAGE_SIZE,
+    PhysicalMemory,
+    SoftLinkedList,
+    SoftMemoryAllocator,
+    SoftMemoryDaemon,
+)
+
+
+def main() -> None:
+    # One machine: 64 MiB of RAM, 20 MiB of it usable as soft memory.
+    physical = PhysicalMemory(64 * MIB)
+    smd = SoftMemoryDaemon(soft_capacity_pages=(20 * MIB) // PAGE_SIZE)
+
+    # Process A: a cache service. Its cache opts into soft memory.
+    cache_sma = SoftMemoryAllocator(name="cache-service", physical=physical)
+    smd.register(cache_sma, traditional_pages=512)
+
+    dropped = []
+    cache = SoftLinkedList(
+        cache_sma,
+        name="hot-cache",
+        element_size=2048,
+        callback=dropped.append,  # last-chance hook before entries vanish
+    )
+    for i in range(8000):  # ~16 MiB of cache
+        cache.append(f"cached-object-{i}")
+    print(f"cache service holds {cache_sma.soft_bytes / MIB:.1f} MiB soft")
+
+    # Process B: a batch job that suddenly needs 12 MiB.
+    batch_sma = SoftMemoryAllocator(name="batch-job", physical=physical)
+    smd.register(batch_sma, traditional_pages=128)
+
+    scratch = SoftLinkedList(batch_sma, name="scratch", element_size=4096)
+    for i in range((12 * MIB) // 4096):
+        scratch.append(i)  # daemon reclaims from the cache service
+
+    print(f"batch job now holds   {batch_sma.soft_bytes / MIB:.1f} MiB soft")
+    print(f"cache service now at  {cache_sma.soft_bytes / MIB:.1f} MiB soft")
+    print(f"cache entries dropped via callback: {len(dropped)}")
+    print(f"cache survivors: {len(cache)} (oldest were freed first)")
+    print(f"daemon: {smd.requests} requests, {smd.denials} denials, "
+          f"{smd.reclamation_episodes} reclamation episodes")
+    assert smd.denials == 0, "nobody was denied and nobody was killed"
+
+
+if __name__ == "__main__":
+    main()

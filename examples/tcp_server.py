@@ -1,0 +1,65 @@
+"""A soft-memory Redis over real TCP sockets.
+
+Starts the store on a loopback port, drives it with concurrent RESP
+clients like any Redis client would, then applies memory pressure while
+requests are in flight. The reclaimed keys answer "not found" over the
+wire; the server never stops serving.
+
+Run:  python examples/tcp_server.py
+"""
+
+import threading
+
+from repro import MIB
+from repro.core.locking import LockedSoftMemoryAllocator
+from repro.kvstore import DataStore, TcpKvClient, TcpKvServer
+
+
+def main() -> None:
+    sma = LockedSoftMemoryAllocator(name="redis-tcp")
+    store = DataStore(sma)
+    with TcpKvServer(store) as server:
+        host, port = server.address
+        print(f"serving RESP on {host}:{port}")
+
+        # Concurrent clients fill the store over real sockets.
+        def fill(tid: int, count: int) -> None:
+            with TcpKvClient(server.address) as client:
+                for i in range(count):
+                    client.execute("SET", f"c{tid}:key:{i:05d}", "x" * 64)
+
+        threads = [
+            threading.Thread(target=fill, args=(t, 5000)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        with TcpKvClient(server.address) as client:
+            print(f"loaded {client.execute('DBSIZE')} keys "
+                  f"({sma.soft_bytes / MIB:.2f} MiB soft) over "
+                  f"{server.connections_served} connections")
+
+            # Memory pressure arrives while the server is live.
+            stats = sma.reclaim(sma.held_pages // 2)
+            print(f"reclaimed {stats.pages_reclaimed} pages "
+                  f"({stats.allocations_freed} entries dropped)")
+
+            oldest = client.execute("GET", "c0:key:00000")
+            print(f"GET oldest key over the wire -> {oldest!r}")
+            client.execute("SET", "post-pressure", "still-serving")
+            print(f"server still serving: "
+                  f"{client.execute('GET', 'post-pressure')!r}")
+            info = dict(
+                line.split(":", 1)
+                for line in client.execute("INFO").decode().splitlines()
+                if ":" in line
+            )
+            print(f"INFO reclaimed_keys={info['reclaimed_keys']} "
+                  f"keys={info['keys']}")
+    print("server stopped cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""repro — reproduction of *Towards Increased Datacenter Efficiency with
+Soft Memory* (Frisella, Loayza Sanchez, Schwarzkopf; HotOS '23).
+
+Soft memory makes allocations revocable under memory pressure: instead
+of killing processes or failing ``malloc``, a machine-wide daemon moves
+pages from opted-in data structures (whose contents can be dropped) to
+whoever needs them.
+
+Quickstart::
+
+    from repro import SoftMemoryAllocator, SoftMemoryDaemon, SoftLinkedList
+
+    smd = SoftMemoryDaemon(soft_capacity_pages=5120)   # 20 MiB machine
+    sma = SoftMemoryAllocator(name="cache-service")
+    smd.register(sma, traditional_pages=256)
+    cache = SoftLinkedList(sma, element_size=2048)
+    cache.append("hello")
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced result.
+"""
+
+from repro.core import (
+    DerefScope,
+    LockedSoftMemoryAllocator,
+    ReclaimedMemoryError,
+    ReclamationStats,
+    SdsContext,
+    SoftMemoryAllocator,
+    SoftMemoryDenied,
+    SoftMemoryError,
+    SoftPtr,
+    ReferenceQueue,
+    SoftReference,
+)
+from repro.daemon import SmdConfig, SoftMemoryDaemon
+from repro.mem import OutOfMemoryError, PhysicalMemory, SystemAllocator
+from repro.sds import (
+    Sache,
+    SoftArray,
+    SoftBuffer,
+    SoftDataStructure,
+    SoftHashTable,
+    SoftLinkedList,
+    SoftLRUCache,
+    SoftQueue,
+)
+from repro.util import KIB, MIB, PAGE_SIZE
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "DerefScope",
+    "KIB",
+    "LockedSoftMemoryAllocator",
+    "MIB",
+    "OutOfMemoryError",
+    "PAGE_SIZE",
+    "PhysicalMemory",
+    "ReclaimedMemoryError",
+    "ReclamationStats",
+    "ReferenceQueue",
+    "Sache",
+    "SdsContext",
+    "SmdConfig",
+    "SoftArray",
+    "SoftBuffer",
+    "SoftDataStructure",
+    "SoftHashTable",
+    "SoftLRUCache",
+    "SoftLinkedList",
+    "SoftMemoryAllocator",
+    "SoftMemoryDaemon",
+    "SoftMemoryDenied",
+    "SoftMemoryError",
+    "SoftPtr",
+    "SoftQueue",
+    "SoftReference",
+    "SystemAllocator",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Comparison baselines from the paper's sections 5-6.
+
+* :mod:`~repro.baselines.kill` — the world without soft memory: under
+  pressure the process is killed and restarted (>= 12 ms downtime plus
+  a cache-refill period of degraded service).
+* :mod:`~repro.baselines.swap` — far-memory/swap: pages move to slower
+  storage instead of being dropped; content survives, but every later
+  access pays the swap-in cost (AIFM/zswap territory, section 6).
+* :mod:`~repro.baselines.ballooning` — VM-ballooning-style reclamation
+  that can take only *unused* memory (budget headroom + pooled pages),
+  never in-use data structure memory.
+
+``repro.mem.sysalloc`` (the system-allocator speed baseline for the
+section 5 stress tests) lives with the memory substrate.
+"""
+
+from repro.baselines.ballooning import balloon_reclaim
+from repro.baselines.kill import KillRestartModel, KillOutcome
+from repro.baselines.swap import SwapTier, SwapOutcome, pressure_cost_swap
+
+__all__ = [
+    "KillOutcome",
+    "KillRestartModel",
+    "SwapOutcome",
+    "SwapTier",
+    "balloon_reclaim",
+    "pressure_cost_swap",
+]

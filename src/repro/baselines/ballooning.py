@@ -1,0 +1,24 @@
+"""VM-ballooning-style reclamation: free memory only.
+
+Section 6: ballooning "is comparable to process-level soft memory
+reclamation of unused memory budget, which precedes the reclamation of
+in-use data structure memory. However, VM ballooning cannot reclaim
+in-use memory."
+
+:func:`balloon_reclaim` therefore runs only the first two tiers of the
+SMA's protocol — unused budget and pooled free pages — and stops. The
+ablation benchmark shows it stalling exactly when memory is tied up in
+live data structures, which is where soft memory keeps going.
+"""
+
+from __future__ import annotations
+
+from repro.core.reclaim import ReclamationStats
+from repro.core.sma import SoftMemoryAllocator
+
+
+def balloon_reclaim(
+    sma: SoftMemoryAllocator, demand_pages: int
+) -> ReclamationStats:
+    """Reclaim like a balloon driver: never touch in-use allocations."""
+    return sma.reclaim_flexible(demand_pages)

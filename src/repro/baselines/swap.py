@@ -1,0 +1,93 @@
+"""Swap / far-memory baseline (section 6's AIFM & zswap comparison).
+
+Swapping relieves pressure by *moving* pages to a slower tier and
+preserves content; soft memory relieves pressure by *dropping* content
+after a callback. Which is cheaper depends on how often the displaced
+data is touched again:
+
+* swap pays ``out_cost`` per page now and ``in_cost`` per page on every
+  later access;
+* soft memory pays the callback now and a re-computation/re-fetch cost
+  only for entries the workload actually wants back.
+
+The crossover in re-access probability is the quantitative version of
+the paper's claim that dropping "makes sense when the data stored loses
+its utility once no longer in memory".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.costs import CostModel
+from repro.util.units import PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class SwapTier:
+    """A slower storage tier for displaced pages.
+
+    Defaults model a local NVMe swap device; far-memory systems (RDMA)
+    would be ~10x faster, compressed RAM (zswap) faster still — the
+    bench sweeps these.
+    """
+
+    #: seconds to write one page out
+    out_cost: float = 20e-6
+    #: seconds to fault one page back in
+    in_cost: float = 20e-6
+
+
+@dataclass(frozen=True)
+class SwapOutcome:
+    """Total cost of one pressure episode handled by swapping."""
+
+    pages_moved: int
+    out_seconds: float
+    expected_in_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.out_seconds + self.expected_in_seconds
+
+
+def pressure_cost_swap(
+    pages: int,
+    reaccess_probability: float,
+    tier: SwapTier | None = None,
+) -> SwapOutcome:
+    """Expected cost of swapping ``pages`` out under later re-access."""
+    if pages < 0:
+        raise ValueError("pages must be non-negative")
+    if not 0.0 <= reaccess_probability <= 1.0:
+        raise ValueError("reaccess_probability must be in [0, 1]")
+    t = tier or SwapTier()
+    return SwapOutcome(
+        pages_moved=pages,
+        out_seconds=pages * t.out_cost,
+        expected_in_seconds=pages * reaccess_probability * t.in_cost,
+    )
+
+
+def pressure_cost_soft(
+    pages: int,
+    reaccess_probability: float,
+    *,
+    entry_bytes: int = 1024,
+    costs: CostModel | None = None,
+) -> float:
+    """Expected cost of *dropping* the same pages via soft memory.
+
+    Pays the reclamation callback per entry now, and the backing-store
+    re-fetch only for entries the workload touches again.
+    """
+    if pages < 0:
+        raise ValueError("pages must be non-negative")
+    if not 0.0 <= reaccess_probability <= 1.0:
+        raise ValueError("reaccess_probability must be in [0, 1]")
+    c = costs or CostModel()
+    entries = pages * PAGE_SIZE // entry_bytes
+    return (
+        entries * c.callback_cost
+        + entries * reaccess_probability * c.refill_cost_per_entry
+    )

@@ -1,0 +1,34 @@
+"""Borg-like cluster scheduling substrate.
+
+Section 2 motivates soft memory with cluster-level claims: schedulers
+like Borg terminate lower-priority jobs under memory pressure, wasting
+the work those jobs completed, and operators over-provision so badly
+that utilization stays low. This package provides a synthetic-trace
+cluster simulator with two pressure policies — kill-based (the status
+quo) and soft-memory-aware — so those claims become measurable:
+evictions, wasted CPU-seconds, and achieved utilization.
+"""
+
+from repro.cluster.job import Job, JobState
+from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.scheduler import ClusterSim, ClusterConfig, PressurePolicy
+from repro.cluster.trace import TraceConfig, synthetic_trace
+from repro.cluster.twolevel import (
+    IntegratedCluster,
+    TwoLevelConfig,
+    TwoLevelMetrics,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterMetrics",
+    "ClusterSim",
+    "IntegratedCluster",
+    "TwoLevelConfig",
+    "TwoLevelMetrics",
+    "Job",
+    "JobState",
+    "PressurePolicy",
+    "TraceConfig",
+    "synthetic_trace",
+]

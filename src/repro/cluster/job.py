@@ -1,0 +1,109 @@
+"""Cluster jobs: priorities, memory shapes, and progress tracking."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    FINISHED = "finished"
+    #: the job's placement footprint exceeds every machine (in the kill
+    #: world this includes its cache — some jobs only fit with soft memory)
+    IMPOSSIBLE = "impossible"
+
+
+@dataclass
+class Job:
+    """One job from a cluster trace.
+
+    Memory shape: ``mandatory_pages`` is state the job cannot run
+    without (the paper's "traditional memory"); ``cache_pages`` is
+    memory that only improves performance — the portion a developer
+    would place in soft memory. ``cache_speedup`` is the progress-rate
+    gain of a full cache: with it the job runs at rate 1.0, without it
+    at ``1 / (1 + cache_speedup)``.
+
+    ``priority``: higher is more important (Borg-style); pressure
+    victims are chosen lowest-priority-first.
+    """
+
+    job_id: int
+    arrival: float
+    duration: float
+    priority: int
+    mandatory_pages: int
+    cache_pages: int
+    cache_speedup: float = 0.5
+
+    # -- runtime state -------------------------------------------------
+    state: JobState = JobState.PENDING
+    machine_id: int | None = None
+    progress: float = 0.0
+    #: cache pages currently held (kill world: always cache_pages while
+    #: running; soft world: shrinks under reclamation)
+    cache_held: int = 0
+    evictions: int = 0
+    #: CPU-seconds of progress thrown away by evictions
+    wasted_work: float = 0.0
+    finish_time: float | None = None
+    #: cumulative pages reclaimed from this job's cache
+    cache_reclaimed: int = 0
+    #: earliest time the scheduler may (re)place the job (restart backoff)
+    eligible_at: float = 0.0
+
+    @property
+    def total_ask_pages(self) -> int:
+        return self.mandatory_pages + self.cache_pages
+
+    @property
+    def used_pages(self) -> int:
+        """Pages physically held right now."""
+        if self.state is not JobState.RUNNING:
+            return 0
+        return self.mandatory_pages + self.cache_held
+
+    def progress_rate(self) -> float:
+        """Progress per simulated second, degraded by cache loss."""
+        if self.cache_pages == 0:
+            return 1.0
+        missing = 1.0 - self.cache_held / self.cache_pages
+        return 1.0 / (1.0 + self.cache_speedup * missing)
+
+    def evict(self) -> None:
+        """Kill the job: progress is lost, it goes back to the queue."""
+        self.wasted_work += self.progress
+        self.progress = 0.0
+        self.evictions += 1
+        self.state = JobState.PENDING
+        self.machine_id = None
+        self.cache_held = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<Job {self.job_id} prio={self.priority} {self.state.value} "
+            f"{self.progress:.0f}/{self.duration:.0f}s>"
+        )
+
+
+@dataclass
+class MachineSlot:
+    """One machine's capacity and resident jobs."""
+
+    machine_id: int
+    capacity_pages: int
+    jobs: list[Job] = field(default_factory=list)
+
+    @property
+    def used_pages(self) -> int:
+        return sum(job.used_pages for job in self.jobs)
+
+    @property
+    def free_pages(self) -> int:
+        return self.capacity_pages - self.used_pages
+
+    @property
+    def utilization(self) -> float:
+        return self.used_pages / self.capacity_pages

@@ -1,0 +1,59 @@
+"""Cluster-run outcome metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.job import Job
+
+
+@dataclass
+class ClusterMetrics:
+    """What one simulated cluster run produced."""
+
+    policy: str = ""
+    completed_jobs: int = 0
+    evictions: int = 0
+    #: CPU-seconds of progress destroyed by evictions
+    wasted_cpu_seconds: float = 0.0
+    #: soft pages moved between jobs instead of killing anyone
+    pages_reclaimed: int = 0
+    reclamation_events: int = 0
+    #: jobs killed even under the soft policy (mandatory memory pressure)
+    forced_kills: int = 0
+    makespan: float = 0.0
+    #: mean of per-tick machine utilization samples
+    mean_utilization: float = 0.0
+    utilization_samples: list[float] = field(default_factory=list)
+    #: mean time from arrival to completion over finished jobs
+    mean_turnaround: float = 0.0
+
+    def finalize(self, jobs: list[Job], now: float) -> None:
+        finished = [j for j in jobs if j.finish_time is not None]
+        self.completed_jobs = len(finished)
+        self.evictions = sum(j.evictions for j in jobs)
+        self.wasted_cpu_seconds = sum(j.wasted_work for j in jobs)
+        self.pages_reclaimed = sum(j.cache_reclaimed for j in jobs)
+        self.makespan = now
+        if self.utilization_samples:
+            self.mean_utilization = sum(self.utilization_samples) / len(
+                self.utilization_samples
+            )
+        if finished:
+            self.mean_turnaround = sum(
+                j.finish_time - j.arrival for j in finished  # type: ignore[operator]
+            ) / len(finished)
+
+    def row(self) -> dict[str, float | int | str]:
+        """Flat summary for benchmark tables."""
+        return {
+            "policy": self.policy,
+            "completed": self.completed_jobs,
+            "evictions": self.evictions,
+            "wasted_cpu_s": round(self.wasted_cpu_seconds, 1),
+            "reclaims": self.reclamation_events,
+            "forced_kills": self.forced_kills,
+            "makespan_s": round(self.makespan, 1),
+            "mean_util": round(self.mean_utilization, 3),
+            "mean_turnaround_s": round(self.mean_turnaround, 1),
+        }

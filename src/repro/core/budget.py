@@ -1,0 +1,77 @@
+"""Soft memory budget ledger.
+
+Each process's SMA holds a budget granted by the Soft Memory Daemon:
+the maximum number of soft pages the process may hold at once. Approved
+requests raise it, reclamation demands lower it (section 3.1). The
+ledger enforces ``held <= granted`` at all times.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ProtocolError
+
+
+class BudgetLedger:
+    """Tracks granted vs held soft pages for one process."""
+
+    def __init__(self, initial_pages: int = 0) -> None:
+        if initial_pages < 0:
+            raise ValueError(f"budget cannot be negative: {initial_pages}")
+        self.granted = initial_pages
+        self.held = 0
+        # lifetime counters for the amortization analysis (case 2)
+        self.total_granted = initial_pages
+        self.total_revoked = 0
+
+    @property
+    def headroom(self) -> int:
+        """Pages the process may still take without asking the daemon."""
+        return self.granted - self.held
+
+    @property
+    def unused(self) -> int:
+        """Alias for headroom: budget reclaimable with zero disturbance."""
+        return self.headroom
+
+    def grant(self, pages: int) -> None:
+        """Daemon approved a request for ``pages`` more budget."""
+        if pages < 0:
+            raise ValueError(f"grant must be non-negative: {pages}")
+        self.granted += pages
+        self.total_granted += pages
+
+    def revoke(self, pages: int) -> None:
+        """Daemon took ``pages`` of budget away (after pages were released)."""
+        if pages < 0:
+            raise ValueError(f"revoke must be non-negative: {pages}")
+        if self.granted - pages < self.held:
+            raise ProtocolError(
+                f"revoking {pages} would leave granted={self.granted - pages} "
+                f"below held={self.held}"
+            )
+        self.granted -= pages
+        self.total_revoked += pages
+
+    def acquire(self, pages: int) -> None:
+        """Process took ``pages`` physical pages against its budget."""
+        if pages < 0:
+            raise ValueError(f"acquire must be non-negative: {pages}")
+        if self.held + pages > self.granted:
+            raise ProtocolError(
+                f"holding {self.held + pages} pages would exceed "
+                f"granted budget {self.granted}"
+            )
+        self.held += pages
+
+    def release(self, pages: int) -> None:
+        """Process gave ``pages`` physical pages back to the machine."""
+        if pages < 0:
+            raise ValueError(f"release must be non-negative: {pages}")
+        if pages > self.held:
+            raise ProtocolError(
+                f"releasing {pages} pages but only {self.held} held"
+            )
+        self.held -= pages
+
+    def __repr__(self) -> str:
+        return f"<BudgetLedger held={self.held}/{self.granted}>"

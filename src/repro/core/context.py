@@ -1,0 +1,72 @@
+"""SDS contexts: the SMA's per-data-structure bookkeeping unit.
+
+Section 3.1: "Each SDS has a context in charge of tracking the SDS's heap
+and a user-defined priority." The priority is how developers communicate
+allocation semantics to the allocator — lower-priority structures are
+told to reclaim first.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable
+
+from repro.core.heap import SdsHeap
+from repro.mem.placer import PagePlacer
+
+#: builds a placer for a new context's heap (PagePlacer-compatible);
+#: receives the context name as its owner tag
+PlacerFactory = Callable[[str], PagePlacer]
+
+#: application-provided last-chance hook, invoked on each payload right
+#: before its allocation is reclaimed (tag for recomputation, write
+#: elsewhere, drop derived traditional memory, ...)
+ReclaimCallback = Callable[[Any], None]
+
+#: bound SDS reclaim entry point: given a page quota, free allocations
+#: until that many whole pages are harvestable; return the achieved count
+ReclaimHandler = Callable[[int], int]
+
+_context_ids = itertools.count(1)
+
+
+class SdsContext:
+    """Identity, heap, priority, and hooks of one soft data structure."""
+
+    def __init__(
+        self,
+        name: str,
+        priority: int = 0,
+        callback: ReclaimCallback | None = None,
+        placer_factory: PlacerFactory | None = None,
+    ) -> None:
+        if priority < 0:
+            raise ValueError(f"priority must be non-negative: {priority}")
+        self.context_id: int = next(_context_ids)
+        self.name = name
+        #: user-defined importance; *lower* priorities reclaim first
+        self.priority = priority
+        #: last-chance application callback (may be None)
+        self.callback = callback
+        self.heap = SdsHeap(
+            name=name,
+            placer=placer_factory(name) if placer_factory else None,
+        )
+        #: installed by the SDS when it binds to the SMA
+        self.reclaim_handler: ReclaimHandler | None = None
+        # lifetime stats
+        self.reclaim_demands = 0
+        self.allocations_reclaimed = 0
+        #: reclamation callbacks that raised (contained, not propagated)
+        self.callback_errors = 0
+
+    @property
+    def reclaimable_pages(self) -> int:
+        """Upper bound on pages this context could surrender."""
+        return self.heap.page_count
+
+    def __repr__(self) -> str:
+        return (
+            f"<SdsContext {self.context_id} {self.name!r} "
+            f"prio={self.priority} pages={self.heap.page_count}>"
+        )

@@ -1,0 +1,53 @@
+"""Exception taxonomy for the soft memory core."""
+
+from __future__ import annotations
+
+
+class SoftMemoryError(Exception):
+    """Base class for all soft-memory-specific errors."""
+
+
+class SoftMemoryDenied(SoftMemoryError):
+    """The daemon could not satisfy a soft memory request.
+
+    The paper's SMD "is designed to almost never deny a process's soft
+    memory request" — this is the rare case where reclamation could not
+    gather the quota within the target cap.
+    """
+
+    def __init__(self, pid: int, requested_pages: int, reclaimed: int) -> None:
+        self.pid = pid
+        self.requested_pages = requested_pages
+        self.reclaimed = reclaimed
+        super().__init__(
+            f"process {pid}: request for {requested_pages} page(s) denied "
+            f"(reclamation yielded only {reclaimed})"
+        )
+
+
+class ReclaimedMemoryError(SoftMemoryError):
+    """A soft pointer was dereferenced after its allocation was reclaimed.
+
+    This is the tracked-pointer runtime sketched in the paper's section 7
+    ("Handling Reclamation"): every pointer into soft memory goes through
+    a handle the runtime can invalidate, so a stale dereference raises
+    instead of reading freed memory.
+    """
+
+    def __init__(self, alloc_id: int) -> None:
+        self.alloc_id = alloc_id
+        super().__init__(f"soft allocation {alloc_id} was reclaimed")
+
+
+class AllocationPinnedError(SoftMemoryError):
+    """An operation required freeing an allocation pinned by a DerefScope."""
+
+    def __init__(self, alloc_id: int) -> None:
+        self.alloc_id = alloc_id
+        super().__init__(
+            f"soft allocation {alloc_id} is pinned by an active DerefScope"
+        )
+
+
+class ProtocolError(SoftMemoryError):
+    """SMA/SMD bookkeeping violated an invariant (a bug, not a policy)."""

@@ -1,0 +1,52 @@
+"""Process-global pool of free soft pages.
+
+Section 3.1: "The SMA manages a global free pool of free pages that it
+assigns to SDS heaps upon memory requests and replenishes when a SDS
+transfers pages back to the pool after freeing allocations."
+
+Pool pages are still *held* by the process (they count against its soft
+budget) but belong to no SDS, so they are the cheapest thing to give up
+during reclamation — no allocation has to die.
+"""
+
+from __future__ import annotations
+
+from repro.mem.page import Page
+
+
+class FreePool:
+    """LIFO pool of fully-free pages held by one process."""
+
+    def __init__(self) -> None:
+        self._pages: list[Page] = []
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    def put(self, pages: list[Page]) -> None:
+        """Return fully-free pages to the pool."""
+        for page in pages:
+            if not page.is_free:
+                raise ValueError(
+                    f"page {page.page_id} is not free; cannot pool it"
+                )
+            page.owner = "free-pool"
+        self._pages.extend(pages)
+
+    def take(self, count: int) -> list[Page]:
+        """Remove up to ``count`` pages (may return fewer)."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative: {count}")
+        count = min(count, len(self._pages))
+        taken = self._pages[len(self._pages) - count:]
+        del self._pages[len(self._pages) - count:]
+        return taken
+
+    def drain(self) -> list[Page]:
+        """Empty the pool entirely."""
+        pages, self._pages = self._pages, []
+        return pages

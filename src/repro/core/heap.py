@@ -1,0 +1,128 @@
+"""Per-SDS isolated heap.
+
+Section 3.1: "The Soft Memory Allocator provides each SDS with its own
+heap and set of memory pages. [...] a SDS receives pages from the SMA and
+manages its own memory within these pages." Localizing an SDS's
+allocations within its own pages is the paper's answer to the
+frees-per-reclaimed-page trade-off: freeing a few allocations from one
+data structure produces whole free pages quickly.
+
+The heap is *mechanism only*: it places, frees, and harvests. Choosing
+which allocations die during reclamation is SDS policy
+(:mod:`repro.sds.base`), and page sourcing is the SMA's job
+(:mod:`repro.core.sma`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.core.pointer import Allocation
+from repro.mem.page import Page
+from repro.mem.placer import PagePlacer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.context import SdsContext
+
+
+class SdsHeap:
+    """Pages + live allocations of a single soft data structure."""
+
+    #: harvest free pages back to the process pool once this many idle
+    #: (the prototype "periodically transfers free pages back")
+    FREE_PAGE_SLACK = 4
+
+    def __init__(self, name: str = "", placer: PagePlacer | None = None) -> None:
+        self.name = name
+        #: any object with the PagePlacer contract (e.g. the size-class
+        #: slab placer in repro.mem.sizeclass)
+        self._placer = placer if placer is not None else PagePlacer(
+            owner=f"heap:{name}"
+        )
+        #: live allocations in insertion (age) order; dict preserves order
+        self._allocs: dict[int, Allocation] = {}
+
+    # -- placement ---------------------------------------------------
+
+    def pages_needed(self, size: int) -> int:
+        """Pages the SMA must supply before ``allocate(size)`` succeeds."""
+        return self._placer.pages_needed(size)
+
+    def add_pages(self, pages: list[Page]) -> None:
+        for page in pages:
+            self._placer.add_page(page)
+
+    def allocate(
+        self, size: int, context: "SdsContext", payload: Any
+    ) -> Allocation | None:
+        """Place an allocation, or return ``None`` if pages are needed."""
+        placement = self._placer.place(size)
+        if placement is None:
+            return None
+        alloc = Allocation(size, placement, context, payload)
+        self._allocs[alloc.alloc_id] = alloc
+        return alloc
+
+    def free(self, alloc: Allocation) -> None:
+        """Release a live allocation (normal ``soft_free`` path)."""
+        if not alloc.valid:
+            raise ValueError(f"allocation {alloc.alloc_id} already freed")
+        del self._allocs[alloc.alloc_id]
+        self._placer.free(alloc.placement)
+        alloc.valid = False
+        alloc.payload = None
+
+    # -- inspection ---------------------------------------------------
+
+    @property
+    def live_allocations(self) -> int:
+        return len(self._allocs)
+
+    @property
+    def live_bytes(self) -> int:
+        return self._placer.used_bytes
+
+    @property
+    def page_count(self) -> int:
+        return self._placer.page_count
+
+    @property
+    def free_page_count(self) -> int:
+        return self._placer.free_page_count
+
+    def iter_oldest_first(self) -> Iterator[Allocation]:
+        """Allocations in ascending age (insertion order).
+
+        Snapshot iteration: safe to free allocations while consuming it.
+        """
+        return iter(list(self._allocs.values()))
+
+    def iter_newest_first(self) -> Iterator[Allocation]:
+        return iter(list(reversed(self._allocs.values())))
+
+    def allocations(self) -> list[Allocation]:
+        return list(self._allocs.values())
+
+    # -- harvest ------------------------------------------------------
+
+    def harvest_free_pages(self, max_count: int | None = None) -> list[Page]:
+        """Detach entirely-free pages (for the pool or for reclamation)."""
+        return self._placer.take_free_pages(max_count)
+
+    def should_release_slack(self) -> bool:
+        """True when enough idle pages accumulated to hand back to the pool."""
+        return self._placer.free_page_count >= self.FREE_PAGE_SLACK
+
+    def fragmentation(self) -> float:
+        return self._placer.fragmentation()
+
+    def check_invariants(self) -> None:
+        self._placer.check_invariants()
+        for alloc in self._allocs.values():
+            assert alloc.valid, "invalid allocation still indexed"
+
+    def __repr__(self) -> str:
+        return (
+            f"<SdsHeap {self.name!r} pages={self.page_count} "
+            f"allocs={self.live_allocations}>"
+        )

@@ -1,0 +1,77 @@
+"""Reclamation planning and reporting.
+
+Section 3.1's protocol, mechanically: exhaust zero-disturbance sources
+first (unused budget, pooled free pages), then split the remaining page
+quota across SDS contexts in ascending priority — "it begins with the
+lowest priority soft linked list and frees list elements [...] until the
+page quota is fulfilled."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.context import SdsContext
+
+
+@dataclass
+class ReclamationStats:
+    """Counters accumulated while servicing one reclamation demand.
+
+    The simulators convert these counts into time via a cost model, so
+    the SMA itself stays clock-free.
+    """
+
+    demanded_pages: int = 0
+    pages_from_budget: int = 0
+    pages_from_pool: int = 0
+    pages_from_sds: int = 0
+    allocations_freed: int = 0
+    callbacks_invoked: int = 0
+    #: callbacks that raised; reclamation proceeds regardless (a buggy
+    #: victim callback must not break the requesting process)
+    callback_errors: int = 0
+    bytes_freed: int = 0
+    contexts_touched: int = 0
+    #: (context name, pages surrendered) in reclamation order
+    per_context: list[tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def pages_reclaimed(self) -> int:
+        return self.pages_from_budget + self.pages_from_pool + self.pages_from_sds
+
+    @property
+    def satisfied(self) -> bool:
+        return self.pages_reclaimed >= self.demanded_pages
+
+    def __str__(self) -> str:
+        return (
+            f"reclaimed {self.pages_reclaimed}/{self.demanded_pages} pages "
+            f"(budget={self.pages_from_budget} pool={self.pages_from_pool} "
+            f"sds={self.pages_from_sds}) freeing "
+            f"{self.allocations_freed} allocations"
+        )
+
+
+def plan_sds_quotas(
+    contexts: list[SdsContext], quota_pages: int
+) -> list[tuple[SdsContext, int]]:
+    """Assign per-context page quotas, lowest priority first.
+
+    Each context is asked for as much as it can plausibly give (its page
+    count) before the next-priority context is drafted; ties break by
+    context id (creation order) for determinism.
+    """
+    if quota_pages < 0:
+        raise ValueError(f"quota must be non-negative: {quota_pages}")
+    plan: list[tuple[SdsContext, int]] = []
+    remaining = quota_pages
+    ordered = sorted(contexts, key=lambda c: (c.priority, c.context_id))
+    for context in ordered:
+        if remaining <= 0:
+            break
+        share = min(remaining, context.reclaimable_pages)
+        if share > 0:
+            plan.append((context, share))
+            remaining -= share
+    return plan

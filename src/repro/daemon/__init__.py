@@ -1,0 +1,44 @@
+"""Soft Memory Daemon (SMD): machine-wide soft memory arbitration.
+
+One daemon runs per machine (section 3.3). It tracks every registered
+process's soft budget, approves soft memory requests while unassigned
+capacity remains, and under pressure selects a capped number of
+reclamation targets in descending reclamation weight — biased toward
+targets that can give memory up without disturbance — demanding a fixed
+over-reclamation percentage to amortize costs.
+"""
+
+from repro.daemon.ipc import Channel, SmaDaemonClient
+from repro.daemon.policy import (
+    SelectionConfig,
+    order_targets,
+    proportional_demands,
+)
+from repro.daemon.proactive import ProactiveReclaimer
+from repro.daemon.registry import ProcessRecord, Registry
+from repro.daemon.smd import SmdConfig, SoftMemoryDaemon
+from repro.daemon.weights import (
+    WEIGHT_POLICIES,
+    paper_weight,
+    soft_only_weight,
+    total_footprint_weight,
+    traditional_only_weight,
+)
+
+__all__ = [
+    "Channel",
+    "ProactiveReclaimer",
+    "ProcessRecord",
+    "Registry",
+    "SelectionConfig",
+    "SmaDaemonClient",
+    "SmdConfig",
+    "SoftMemoryDaemon",
+    "WEIGHT_POLICIES",
+    "order_targets",
+    "proportional_demands",
+    "paper_weight",
+    "soft_only_weight",
+    "total_footprint_weight",
+    "traditional_only_weight",
+]

@@ -1,0 +1,62 @@
+"""Counted message channels between SMAs and the daemon.
+
+The real prototype crosses a process boundary for every budget request
+and reclamation demand. We run in one address space, so this module's
+job is to make that traffic *visible*: every logical round-trip is
+counted and (optionally) charged to a clock, which is what the paper's
+case (2) measures — daemon communication amortized over many
+allocations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.daemon.smd import SoftMemoryDaemon
+
+
+class Channel:
+    """Round-trip counter with an optional per-message cost hook."""
+
+    def __init__(self, on_round_trip: Callable[[], None] | None = None) -> None:
+        self.round_trips = 0
+        self._on_round_trip = on_round_trip
+
+    def round_trip(self) -> None:
+        """Account one request/response exchange."""
+        self.round_trips += 1
+        if self._on_round_trip is not None:
+            self._on_round_trip()
+
+
+class SmaDaemonClient:
+    """The SMA-side stub implementing the ``DaemonClient`` protocol.
+
+    Each call is one counted round-trip into the daemon.
+    """
+
+    def __init__(
+        self, daemon: "SoftMemoryDaemon", pid: int, channel: Channel
+    ) -> None:
+        self._daemon = daemon
+        self._pid = pid
+        self._channel = channel
+
+    @property
+    def pid(self) -> int:
+        return self._pid
+
+    @property
+    def round_trips(self) -> int:
+        return self._channel.round_trips
+
+    def request(self, pages: int) -> int:
+        """Ask the daemon for ``pages`` more soft budget."""
+        self._channel.round_trip()
+        return self._daemon.handle_request(self._pid, pages)
+
+    def notify_release(self, pages: int) -> None:
+        """Report a voluntary budget return."""
+        self._channel.round_trip()
+        self._daemon.handle_release(self._pid, pages)

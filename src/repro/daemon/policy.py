@@ -1,0 +1,125 @@
+"""Reclamation target selection.
+
+Section 3.3 + 4: under pressure the SMD "selects a capped number of
+processes in decreasing order of reclamation weight", and the prototype
+"biases towards targets that will experience little or no disturbance
+from the reclamation" — if the heaviest target has every page tied up in
+SDS allocations, the daemon first tries more flexible processes (unused
+budget, pooled pages) and only returns to the inflexible one when no
+better option exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.daemon.registry import ProcessRecord
+from repro.daemon.weights import WeightFn, paper_weight
+
+
+@dataclass(frozen=True)
+class SelectionConfig:
+    """Knobs for target selection and demand sizing."""
+
+    #: max processes disturbed per request (the paper's cap)
+    target_cap: int = 3
+    #: fixed over-reclamation fraction of a target's held pages,
+    #: demanded to amortize reclamation cost (section 4)
+    over_reclaim_frac: float = 0.25
+    #: may the daemon reclaim the requester's own older soft memory?
+    #: (an open question in section 7; default matches the paper's design)
+    allow_self_reclaim: bool = False
+    weight_fn: WeightFn = paper_weight
+    #: how a reclamation quota lands on the selected targets:
+    #: "greedy" (the paper's prototype: drain the heaviest target first)
+    #: or "proportional" (split by weight — section 7 asks whether
+    #: heavier soft users *should* give up proportionally more)
+    distribution: str = "greedy"
+
+    def __post_init__(self) -> None:
+        if self.target_cap < 1:
+            raise ValueError("target_cap must be at least 1")
+        if not 0.0 <= self.over_reclaim_frac <= 1.0:
+            raise ValueError("over_reclaim_frac must be in [0, 1]")
+        if self.distribution not in ("greedy", "proportional"):
+            raise ValueError(
+                f"unknown distribution {self.distribution!r}"
+            )
+
+
+def weight_of(record: ProcessRecord, weight_fn: WeightFn) -> float:
+    return weight_fn(record.traditional_pages, record.soft_pages)
+
+
+def order_targets(
+    candidates: list[ProcessRecord],
+    needed_pages: int,
+    config: SelectionConfig,
+) -> list[ProcessRecord]:
+    """Visit order for reclamation targets.
+
+    Ranked by descending weight, then stably re-ordered so that targets
+    flexible enough to cover their likely share come first; ties break on
+    pid for determinism. Only processes that could contribute at all are
+    listed.
+    """
+    ranked = sorted(
+        (r for r in candidates if r.reclaimable_pages > 0),
+        key=lambda r: (-weight_of(r, config.weight_fn), r.pid),
+    )
+    flexible = [r for r in ranked if r.flexibility > 0]
+    flexible_pids = {r.pid for r in flexible}
+    rigid = [r for r in ranked if r.pid not in flexible_pids]
+    return flexible + rigid
+
+
+def proportional_demands(
+    targets: list[ProcessRecord],
+    needed_pages: int,
+    config: SelectionConfig,
+) -> list[tuple[ProcessRecord, int]]:
+    """Split a quota across targets in proportion to their weights.
+
+    Spreads disturbance instead of draining one victim; each share is
+    still raised to the over-reclaim floor and capped by what the
+    target can surrender. A final top-up pass (heaviest first) covers
+    rounding and per-target caps so the plan sums to at least
+    ``needed_pages`` whenever the targets jointly can.
+    """
+    if not targets or needed_pages <= 0:
+        return []
+    weights = [max(weight_of(r, config.weight_fn), 0.0) for r in targets]
+    total = sum(weights)
+    if total <= 0:
+        weights = [1.0] * len(targets)
+        total = float(len(targets))
+    plan: list[tuple[ProcessRecord, int]] = []
+    for record, weight in zip(targets, weights):
+        share = -(-needed_pages * weight // total)  # ceil
+        share = max(share, int(record.soft_pages * config.over_reclaim_frac))
+        plan.append((record, min(int(share), record.reclaimable_pages)))
+    shortfall = needed_pages - sum(d for _, d in plan)
+    if shortfall > 0:
+        topped: list[tuple[ProcessRecord, int]] = []
+        for record, demand in plan:
+            if shortfall > 0:
+                extra = min(shortfall, record.reclaimable_pages - demand)
+                demand += extra
+                shortfall -= extra
+            topped.append((record, demand))
+        plan = topped
+    return [(r, d) for r, d in plan if d > 0]
+
+
+def demand_size(
+    record: ProcessRecord, remaining_need: int, config: SelectionConfig
+) -> int:
+    """Pages to demand from one target.
+
+    At least the remaining need (so one healthy target can end the
+    episode), raised to the fixed over-reclaim percentage of the target's
+    holdings, and capped by what the target can actually surrender.
+    """
+    amortized = int(record.soft_pages * config.over_reclaim_frac)
+    want = max(remaining_need, amortized)
+    return min(want, record.reclaimable_pages)

@@ -1,0 +1,106 @@
+"""Proactive reclamation: the zswap-style counterpoint.
+
+Section 6 contrasts the designs: "zswap proactively compresses cold
+memory pages [...]. By contrast, soft memory is explicit about memory
+reclamation via its callback mechanism and SDSs reactively reclaim
+pages under memory pressure."
+
+The paper's daemon is purely reactive — reclamation happens on the
+critical path of a request that cannot be satisfied. This module adds
+the proactive alternative so the trade-off is measurable: a background
+ticker keeps unassigned capacity above a low watermark by trimming
+flexible memory (unused budget and pooled pages — zero disturbance),
+optionally escalating to real demands. Requests then mostly find
+capacity ready and pay no reclamation latency; the cost is memory taken
+back earlier than strictly necessary.
+"""
+
+from __future__ import annotations
+
+from repro.daemon.smd import SoftMemoryDaemon
+
+
+class ProactiveReclaimer:
+    """Keeps the daemon's unassigned capacity above a watermark.
+
+    Call :meth:`tick` periodically (the simulators call it per step).
+    ``aggressive`` escalates to full demands — disturbing data
+    structures ahead of need — when flexible memory alone cannot reach
+    the watermark.
+    """
+
+    def __init__(
+        self,
+        smd: SoftMemoryDaemon,
+        low_watermark_pages: int,
+        aggressive: bool = False,
+    ) -> None:
+        if low_watermark_pages < 0:
+            raise ValueError(
+                f"watermark must be non-negative: {low_watermark_pages}"
+            )
+        if low_watermark_pages > smd.capacity_pages:
+            raise ValueError("watermark exceeds the machine's soft capacity")
+        self.smd = smd
+        self.low_watermark_pages = low_watermark_pages
+        self.aggressive = aggressive
+        self.ticks = 0
+        self.pages_trimmed = 0
+        self.pages_demanded = 0
+
+    @property
+    def deficit_pages(self) -> int:
+        """Pages below the watermark right now (0 when healthy)."""
+        return max(
+            0, self.low_watermark_pages - self.smd.unassigned_pages
+        )
+
+    def tick(self) -> int:
+        """One background pass; returns pages recovered."""
+        self.ticks += 1
+        deficit = self.deficit_pages
+        if deficit == 0:
+            return 0
+        recovered = self._trim_flexible(deficit)
+        deficit -= recovered
+        if deficit > 0 and self.aggressive:
+            recovered += self._demand_in_use(deficit)
+        return recovered
+
+    def _trim_flexible(self, deficit: int) -> int:
+        """Zero-disturbance pass: most-flexible processes first."""
+        recovered = 0
+        candidates = sorted(
+            self.smd.registry, key=lambda r: -r.flexibility
+        )
+        for record in candidates:
+            if recovered >= deficit:
+                break
+            take = min(record.flexibility, deficit - recovered)
+            if take > 0:
+                got = self.smd.trim_flexible(record.pid, take)
+                recovered += got
+                self.pages_trimmed += got
+        return recovered
+
+    def _demand_in_use(self, deficit: int) -> int:
+        """Aggressive pass: real demands, heaviest holder first."""
+        recovered = 0
+        candidates = sorted(
+            self.smd.registry, key=lambda r: -r.soft_pages
+        )
+        for record in candidates:
+            if recovered >= deficit:
+                break
+            take = min(record.reclaimable_pages, deficit - recovered)
+            if take > 0:
+                got = self.smd.issue_demand(record.pid, take)
+                recovered += got
+                self.pages_demanded += got
+        return recovered
+
+    def __repr__(self) -> str:
+        return (
+            f"<ProactiveReclaimer watermark={self.low_watermark_pages}p "
+            f"trimmed={self.pages_trimmed}p demanded={self.pages_demanded}p>"
+        )

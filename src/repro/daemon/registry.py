@@ -1,0 +1,92 @@
+"""The daemon's view of registered processes."""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.sma import SoftMemoryAllocator
+    from repro.daemon.ipc import Channel
+
+_pids = itertools.count(1)
+
+
+class ProcessRecord:
+    """One registered process: its SMA endpoint and reported footprints.
+
+    In the real system the daemon talks to the SMA over IPC; here the
+    record holds a direct reference, and :class:`~repro.daemon.ipc.Channel`
+    counts the messages that reference stands in for. ``traditional_pages``
+    is reported by the process (or the cluster scheduler) — the SMD does
+    not manage traditional memory, it only reads it for weighting.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        sma: "SoftMemoryAllocator",
+        channel: "Channel",
+        traditional_pages: int = 0,
+    ) -> None:
+        self.pid: int = next(_pids)
+        self.name = name
+        self.sma = sma
+        self.channel = channel
+        self.traditional_pages = traditional_pages
+        #: the daemon's authoritative budget ledger for this process
+        self.granted_pages = 0
+        # lifetime counters
+        self.requests_approved = 0
+        self.requests_denied = 0
+        self.demands_received = 0
+        self.pages_reclaimed_from = 0
+
+    @property
+    def soft_pages(self) -> int:
+        """Soft pages currently held (as the process reports them)."""
+        return self.sma.budget.held
+
+    @property
+    def flexibility(self) -> int:
+        """Pages surrenderable without disturbing any data structure."""
+        return self.sma.flexibility()
+
+    @property
+    def reclaimable_pages(self) -> int:
+        return self.sma.reclaimable_pages()
+
+    def __repr__(self) -> str:
+        return (
+            f"<ProcessRecord {self.pid} {self.name!r} "
+            f"granted={self.granted_pages}p soft={self.soft_pages}p "
+            f"trad={self.traditional_pages}p>"
+        )
+
+
+class Registry:
+    """pid -> record table with iteration helpers."""
+
+    def __init__(self) -> None:
+        self._records: dict[int, ProcessRecord] = {}
+
+    def add(self, record: ProcessRecord) -> None:
+        self._records[record.pid] = record
+
+    def remove(self, pid: int) -> ProcessRecord:
+        return self._records.pop(pid)
+
+    def get(self, pid: int) -> ProcessRecord:
+        return self._records[pid]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records.values())
+
+    def all(self) -> list[ProcessRecord]:
+        return list(self._records.values())
+
+    def total_granted(self) -> int:
+        return sum(r.granted_pages for r in self._records.values())

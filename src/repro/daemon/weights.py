@@ -1,0 +1,68 @@
+"""Reclamation-weight policies.
+
+Section 3.3 gives two criteria for the weight metric: (i) the larger a
+process's total (soft + traditional) memory footprint, the higher its
+weight; and (ii) soft memory should raise the weight *in proportion to
+the process's traditional memory*, so that soft-heavy processes — the
+ones doing the system a favour — are not disturbed disproportionally.
+
+The paper's worked example: A and B hold the same soft footprint S, with
+traditional footprints ``T_A < T_B``; then A must weigh less than B.
+
+Section 7 ("Policies for Soft Memory") asks which metric is fair; the
+alternatives here feed the policy-ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+#: (traditional_pages, soft_pages) -> weight; higher = reclaimed sooner
+WeightFn = Callable[[int, int], float]
+
+
+def paper_weight(traditional: int, soft: int) -> float:
+    """The paper's criteria (i) + (ii).
+
+    ``T + S * T / (T + S)``: total footprint raises the weight, and the
+    soft term is scaled by the *traditional share* of the footprint, so a
+    process that put most of its data in soft memory is protected.
+
+    >>> paper_weight(100, 50) > paper_weight(10, 50)   # criterion (i)
+    True
+    """
+    total = traditional + soft
+    if total == 0:
+        return 0.0
+    return traditional + soft * (traditional / total)
+
+
+def total_footprint_weight(traditional: int, soft: int) -> float:
+    """Naive criterion (i) only: weight = T + S.
+
+    Treats soft-heavy and traditional-heavy processes identically — the
+    disincentive the paper warns about.
+    """
+    return float(traditional + soft)
+
+
+def soft_only_weight(traditional: int, soft: int) -> float:
+    """Reclaim from whoever holds the most soft memory.
+
+    Maximally effective per demand, maximally punishing for soft memory
+    adopters (the strawman in section 7's fairness question).
+    """
+    return float(soft)
+
+
+def traditional_only_weight(traditional: int, soft: int) -> float:
+    """Weight by traditional footprint alone (ignores soft holdings)."""
+    return float(traditional)
+
+
+WEIGHT_POLICIES: dict[str, WeightFn] = {
+    "paper": paper_weight,
+    "footprint": total_footprint_weight,
+    "soft-only": soft_only_weight,
+    "traditional-only": traditional_only_weight,
+}

@@ -1,0 +1,81 @@
+"""Convenience client over a :class:`~repro.kvstore.server.KvServer`.
+
+Encodes commands through the real RESP codec and decodes real RESP
+replies, so every client call exercises the full wire path both ways
+(the in-process equivalent of a TCP connection to the server).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.kvstore.resp import RespError, RespParser, encode_command
+from repro.kvstore.server import KvServer
+
+
+class KvClient:
+    """Synchronous client; raises :class:`RespError` on error replies."""
+
+    def __init__(self, server: KvServer) -> None:
+        self._server = server
+        self._parser = RespParser()
+
+    def execute(self, *args: Any) -> Any:
+        """Send one command and return its decoded reply."""
+        raw = self._server.feed(encode_command(*args))
+        self._parser.feed(raw)
+        replies = self._parser.parse_all()
+        if len(replies) != 1:
+            raise RuntimeError(
+                f"expected one reply, got {len(replies)}: {replies!r}"
+            )
+        reply = replies[0]
+        if isinstance(reply, RespError):
+            raise reply
+        return reply
+
+    # -- sugar ---------------------------------------------------------
+
+    def ping(self) -> str:
+        return str(self.execute("PING"))
+
+    def set(self, key: str, value: str | bytes, ex: int | None = None) -> bool:
+        if ex is None:
+            return str(self.execute("SET", key, value)) == "OK"
+        return str(self.execute("SET", key, value, "EX", ex)) == "OK"
+
+    def get(self, key: str) -> bytes | None:
+        return self.execute("GET", key)
+
+    def delete(self, *keys: str) -> int:
+        return self.execute("DEL", *keys)
+
+    def exists(self, *keys: str) -> int:
+        return self.execute("EXISTS", *keys)
+
+    def expire(self, key: str, seconds: int) -> bool:
+        return bool(self.execute("EXPIRE", key, seconds))
+
+    def ttl(self, key: str) -> int:
+        return self.execute("TTL", key)
+
+    def incr(self, key: str) -> int:
+        return self.execute("INCR", key)
+
+    def dbsize(self) -> int:
+        return self.execute("DBSIZE")
+
+    def flushall(self) -> bool:
+        return str(self.execute("FLUSHALL")) == "OK"
+
+    def keys(self, pattern: str = "*") -> list[bytes]:
+        return self.execute("KEYS", pattern)
+
+    def info(self) -> dict[str, str]:
+        raw: bytes = self.execute("INFO")
+        out: dict[str, str] = {}
+        for line in raw.decode().splitlines():
+            if ":" in line:
+                key, __, value = line.partition(":")
+                out[key] = value
+        return out

@@ -1,0 +1,485 @@
+"""Command table: RESP argument vectors to store operations.
+
+Each handler takes the store and the argument list (bytes, excluding the
+command name) and returns a reply value for
+:func:`repro.kvstore.resp.encode_reply`. Errors are returned as
+:class:`~repro.kvstore.resp.RespError` values, never raised, matching
+how a Redis server answers a bad command without dying.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.kvstore.resp import RespError, SimpleString
+from repro.kvstore.store import DataStore
+from repro.kvstore.values import WrongTypeError
+
+Handler = Callable[[DataStore, list[bytes]], Any]
+
+OK = SimpleString("OK")
+PONG = SimpleString("PONG")
+
+
+def _wrong_args(name: str) -> RespError:
+    return RespError(f"ERR wrong number of arguments for '{name}' command")
+
+
+def _parse_int(raw: bytes) -> int:
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError("value is not an integer or out of range") from None
+
+
+def cmd_ping(store: DataStore, args: list[bytes]) -> Any:
+    if not args:
+        return PONG
+    if len(args) == 1:
+        return args[0]
+    return _wrong_args("ping")
+
+
+def cmd_echo(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 1:
+        return _wrong_args("echo")
+    return args[0]
+
+
+def cmd_set(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) < 2:
+        return _wrong_args("set")
+    key, value, *opts = args
+    ex: float | None = None
+    keep_ttl = False
+    i = 0
+    while i < len(opts):
+        opt = opts[i].upper()
+        if opt == b"EX" and i + 1 < len(opts):
+            ex = _parse_int(opts[i + 1])
+            i += 2
+        elif opt == b"PX" and i + 1 < len(opts):
+            ex = _parse_int(opts[i + 1]) / 1000.0
+            i += 2
+        elif opt == b"KEEPTTL":
+            keep_ttl = True
+            i += 1
+        else:
+            return RespError("ERR syntax error")
+    store.set(key, value, ex=ex, keep_ttl=keep_ttl)
+    return OK
+
+
+def cmd_setnx(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 2:
+        return _wrong_args("setnx")
+    key, value = args
+    if store.exists(key):
+        return 0
+    store.set(key, value)
+    return 1
+
+
+def cmd_get(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 1:
+        return _wrong_args("get")
+    return store.get(args[0])
+
+
+def cmd_getset(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 2:
+        return _wrong_args("getset")
+    old = store.get(args[0])
+    store.set(args[0], args[1])
+    return old
+
+
+def cmd_mget(store: DataStore, args: list[bytes]) -> Any:
+    if not args:
+        return _wrong_args("mget")
+    return [store.get(key) for key in args]
+
+
+def cmd_mset(store: DataStore, args: list[bytes]) -> Any:
+    if not args or len(args) % 2:
+        return _wrong_args("mset")
+    for i in range(0, len(args), 2):
+        store.set(args[i], args[i + 1])
+    return OK
+
+
+def cmd_del(store: DataStore, args: list[bytes]) -> Any:
+    if not args:
+        return _wrong_args("del")
+    return store.delete(*args)
+
+
+def cmd_exists(store: DataStore, args: list[bytes]) -> Any:
+    if not args:
+        return _wrong_args("exists")
+    return store.exists(*args)
+
+
+def cmd_expire(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 2:
+        return _wrong_args("expire")
+    return int(store.expire(args[0], _parse_int(args[1])))
+
+
+def cmd_ttl(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 1:
+        return _wrong_args("ttl")
+    return store.ttl(args[0])
+
+
+def cmd_persist(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 1:
+        return _wrong_args("persist")
+    return int(store.persist(args[0]))
+
+
+def cmd_incr(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 1:
+        return _wrong_args("incr")
+    return store.incrby(args[0], 1)
+
+
+def cmd_decr(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 1:
+        return _wrong_args("decr")
+    return store.incrby(args[0], -1)
+
+
+def cmd_incrby(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 2:
+        return _wrong_args("incrby")
+    return store.incrby(args[0], _parse_int(args[1]))
+
+
+def cmd_decrby(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 2:
+        return _wrong_args("decrby")
+    return store.incrby(args[0], -_parse_int(args[1]))
+
+
+def cmd_append(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 2:
+        return _wrong_args("append")
+    return store.append(args[0], args[1])
+
+
+def cmd_strlen(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 1:
+        return _wrong_args("strlen")
+    return store.strlen(args[0])
+
+
+def cmd_keys(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 1:
+        return _wrong_args("keys")
+    return store.keys(args[0])
+
+
+def cmd_dbsize(store: DataStore, args: list[bytes]) -> Any:
+    if args:
+        return _wrong_args("dbsize")
+    return store.dbsize()
+
+
+def cmd_flushall(store: DataStore, args: list[bytes]) -> Any:
+    store.flushall()
+    return OK
+
+
+def cmd_info(store: DataStore, args: list[bytes]) -> Any:
+    lines = [f"{k}:{v}" for k, v in store.info().items()]
+    return ("\r\n".join(lines) + "\r\n").encode()
+
+
+def cmd_memory(store: DataStore, args: list[bytes]) -> Any:
+    if not args:
+        return _wrong_args("memory")
+    sub = args[0].upper()
+    if sub == b"USAGE":
+        if len(args) != 2:
+            return _wrong_args("memory usage")
+        return store.memory_usage(args[1])
+    if sub == b"STATS":
+        info = store.info()
+        flat: list[Any] = []
+        for key, value in info.items():
+            flat.append(key.encode())
+            flat.append(value if isinstance(value, int) else str(value).encode())
+        return flat
+    return RespError(f"ERR unknown MEMORY subcommand {sub.decode()!r}")
+
+
+def cmd_type(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 1:
+        return _wrong_args("type")
+    name = store.type_of(args[0])
+    return SimpleString((name or b"none").decode())
+
+
+def cmd_getdel(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 1:
+        return _wrong_args("getdel")
+    return store.getdel(args[0])
+
+
+def cmd_getrange(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 3:
+        return _wrong_args("getrange")
+    return store.getrange(args[0], _parse_int(args[1]), _parse_int(args[2]))
+
+
+def cmd_setrange(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 3:
+        return _wrong_args("setrange")
+    return store.setrange(args[0], _parse_int(args[1]), args[2])
+
+
+def cmd_setex(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 3:
+        return _wrong_args("setex")
+    store.set(args[0], args[2], ex=_parse_int(args[1]))
+    return OK
+
+
+def cmd_psetex(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 3:
+        return _wrong_args("psetex")
+    store.set(args[0], args[2], ex=_parse_int(args[1]) / 1000.0)
+    return OK
+
+
+def cmd_rename(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 2:
+        return _wrong_args("rename")
+    try:
+        store.rename(args[0], args[1])
+    except KeyError:
+        return RespError("ERR no such key")
+    return OK
+
+
+def cmd_renamenx(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 2:
+        return _wrong_args("renamenx")
+    try:
+        return int(store.renamenx(args[0], args[1]))
+    except KeyError:
+        return RespError("ERR no such key")
+
+
+def cmd_randomkey(store: DataStore, args: list[bytes]) -> Any:
+    if args:
+        return _wrong_args("randomkey")
+    return store.randomkey()
+
+
+def cmd_scan(store: DataStore, args: list[bytes]) -> Any:
+    if not args:
+        return _wrong_args("scan")
+    cursor = _parse_int(args[0])
+    match: bytes | None = None
+    count = 10
+    i = 1
+    while i < len(args):
+        opt = args[i].upper()
+        if opt == b"MATCH" and i + 1 < len(args):
+            match = args[i + 1]
+            i += 2
+        elif opt == b"COUNT" and i + 1 < len(args):
+            count = _parse_int(args[i + 1])
+            i += 2
+        else:
+            return RespError("ERR syntax error")
+    next_cursor, keys = store.scan(cursor, match=match, count=count)
+    return [str(next_cursor).encode(), keys]
+
+
+def cmd_expireat(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 2:
+        return _wrong_args("expireat")
+    return int(store.expireat(args[0], _parse_int(args[1])))
+
+
+def cmd_pttl(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 1:
+        return _wrong_args("pttl")
+    return store.pttl(args[0])
+
+
+def cmd_hset(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) < 3 or len(args) % 2 == 0:
+        return _wrong_args("hset")
+    mapping = dict(zip(args[1::2], args[2::2]))
+    return store.hset(args[0], mapping)
+
+
+def cmd_hget(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 2:
+        return _wrong_args("hget")
+    return store.hget(args[0], args[1])
+
+
+def cmd_hdel(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) < 2:
+        return _wrong_args("hdel")
+    return store.hdel(args[0], *args[1:])
+
+
+def cmd_hlen(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 1:
+        return _wrong_args("hlen")
+    return store.hlen(args[0])
+
+
+def cmd_hkeys(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 1:
+        return _wrong_args("hkeys")
+    return store.hkeys(args[0])
+
+
+def cmd_hvals(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 1:
+        return _wrong_args("hvals")
+    return store.hvals(args[0])
+
+
+def cmd_hgetall(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 1:
+        return _wrong_args("hgetall")
+    flat: list[bytes] = []
+    for fld, value in store.hgetall(args[0]).items():
+        flat.append(fld)
+        flat.append(value)
+    return flat
+
+
+def cmd_hexists(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 2:
+        return _wrong_args("hexists")
+    return int(store.hexists(args[0], args[1]))
+
+
+def cmd_hincrby(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 3:
+        return _wrong_args("hincrby")
+    return store.hincrby(args[0], args[1], _parse_int(args[2]))
+
+
+def cmd_lpush(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) < 2:
+        return _wrong_args("lpush")
+    return store.lpush(args[0], *args[1:])
+
+
+def cmd_rpush(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) < 2:
+        return _wrong_args("rpush")
+    return store.rpush(args[0], *args[1:])
+
+
+def cmd_lpop(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 1:
+        return _wrong_args("lpop")
+    return store.lpop(args[0])
+
+
+def cmd_rpop(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 1:
+        return _wrong_args("rpop")
+    return store.rpop(args[0])
+
+
+def cmd_llen(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 1:
+        return _wrong_args("llen")
+    return store.llen(args[0])
+
+
+def cmd_lrange(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 3:
+        return _wrong_args("lrange")
+    return store.lrange(args[0], _parse_int(args[1]), _parse_int(args[2]))
+
+
+def cmd_lindex(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) != 2:
+        return _wrong_args("lindex")
+    return store.lindex(args[0], _parse_int(args[1]))
+
+
+COMMANDS: dict[bytes, Handler] = {
+    b"PING": cmd_ping,
+    b"ECHO": cmd_echo,
+    b"SET": cmd_set,
+    b"SETNX": cmd_setnx,
+    b"GET": cmd_get,
+    b"GETSET": cmd_getset,
+    b"MGET": cmd_mget,
+    b"MSET": cmd_mset,
+    b"DEL": cmd_del,
+    b"EXISTS": cmd_exists,
+    b"EXPIRE": cmd_expire,
+    b"TTL": cmd_ttl,
+    b"PERSIST": cmd_persist,
+    b"INCR": cmd_incr,
+    b"DECR": cmd_decr,
+    b"INCRBY": cmd_incrby,
+    b"DECRBY": cmd_decrby,
+    b"APPEND": cmd_append,
+    b"STRLEN": cmd_strlen,
+    b"KEYS": cmd_keys,
+    b"DBSIZE": cmd_dbsize,
+    b"FLUSHALL": cmd_flushall,
+    b"INFO": cmd_info,
+    b"MEMORY": cmd_memory,
+    b"TYPE": cmd_type,
+    b"GETDEL": cmd_getdel,
+    b"GETRANGE": cmd_getrange,
+    b"SETRANGE": cmd_setrange,
+    b"SETEX": cmd_setex,
+    b"PSETEX": cmd_psetex,
+    b"RENAME": cmd_rename,
+    b"RENAMENX": cmd_renamenx,
+    b"RANDOMKEY": cmd_randomkey,
+    b"SCAN": cmd_scan,
+    b"EXPIREAT": cmd_expireat,
+    b"PTTL": cmd_pttl,
+    b"HSET": cmd_hset,
+    b"HGET": cmd_hget,
+    b"HDEL": cmd_hdel,
+    b"HLEN": cmd_hlen,
+    b"HKEYS": cmd_hkeys,
+    b"HVALS": cmd_hvals,
+    b"HGETALL": cmd_hgetall,
+    b"HEXISTS": cmd_hexists,
+    b"HINCRBY": cmd_hincrby,
+    b"LPUSH": cmd_lpush,
+    b"RPUSH": cmd_rpush,
+    b"LPOP": cmd_lpop,
+    b"RPOP": cmd_rpop,
+    b"LLEN": cmd_llen,
+    b"LRANGE": cmd_lrange,
+    b"LINDEX": cmd_lindex,
+}
+
+
+def dispatch(store: DataStore, argv: list[bytes]) -> Any:
+    """Execute one parsed command vector against the store."""
+    if not argv:
+        return RespError("ERR empty command")
+    handler = COMMANDS.get(argv[0].upper())
+    if handler is None:
+        return RespError(f"ERR unknown command '{argv[0].decode()}'")
+    try:
+        return handler(store, argv[1:])
+    except WrongTypeError as exc:
+        return RespError(str(exc))  # Redis sends WRONGTYPE without ERR
+    except ValueError as exc:
+        return RespError(f"ERR {exc}")
+    except TypeError as exc:
+        return RespError(f"ERR {exc}")

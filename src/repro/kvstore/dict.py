@@ -1,0 +1,283 @@
+"""The Redis dict, with its bucket elements in soft memory.
+
+Real Redis stores the keyspace in a chained hash table with *two* tables
+and incremental rehashing: when the load factor crosses 1, a second,
+larger table is allocated and every subsequent operation migrates one
+bucket, so rehashing never stalls the event loop. The paper's prototype
+"modified this hash table to store the elements of its buckets in soft
+memory, turning it into an SDS", while keys and values stayed in
+traditional memory, deallocated via the reclamation callback.
+
+:class:`SoftDict` reproduces that integration: chain elements are soft
+allocations whose payload is a traditional-memory ``(key, value)``
+record; reclamation drops the oldest entries first and the application
+callback cleans up the traditional side.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.core.context import ReclaimCallback
+from repro.core.pointer import SoftPtr
+from repro.core.sma import SoftMemoryAllocator
+from repro.sds.base import SoftDataStructure
+
+#: Redis's DICT_HT_INITIAL_SIZE
+INITIAL_SIZE = 4
+#: buckets migrated per operation while rehashing (Redis migrates 1,
+#: visiting at most 10 empty buckets per step)
+REHASH_STEP_BUCKETS = 1
+REHASH_MAX_EMPTY_VISITS = 10
+
+
+class _Table:
+    """One hash table: power-of-two bucket array of soft-pointer chains."""
+
+    __slots__ = ("buckets", "size", "mask", "used")
+
+    def __init__(self, size: int) -> None:
+        assert size and (size & (size - 1)) == 0, "size must be a power of 2"
+        self.buckets: list[list[SoftPtr] | None] = [None] * size
+        self.size = size
+        self.mask = size - 1
+        self.used = 0
+
+
+class SoftDict(SoftDataStructure):
+    """Incrementally-rehashed chained dict with soft entries.
+
+    ``entry_size`` is the soft bytes charged per entry when the caller
+    does not pass an explicit ``size`` (the store passes key+value+
+    overhead). Keys must be ``bytes`` (like Redis keys).
+    """
+
+    def __init__(
+        self,
+        sma: SoftMemoryAllocator,
+        name: str = "keyspace",
+        priority: int = 0,
+        callback: ReclaimCallback | None = None,
+        entry_size: int = 80,
+    ) -> None:
+        super().__init__(sma, name, priority, callback)
+        if entry_size <= 0:
+            raise ValueError(f"entry_size must be positive: {entry_size}")
+        self._entry_size = entry_size
+        self._ht0 = _Table(INITIAL_SIZE)
+        self._ht1: _Table | None = None
+        self._rehash_idx = 0
+        #: alloc_id -> ptr in insertion (age) order, for oldest-first reclaim
+        self._by_age: dict[int, SoftPtr] = {}
+        self.rehashes_completed = 0
+
+    # ------------------------------------------------------------------
+    # hashing / rehashing machinery
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _hash(key: bytes) -> int:
+        # Python's SipHash over bytes, like Redis's SipHash over keys.
+        return hash(key)
+
+    @property
+    def is_rehashing(self) -> bool:
+        return self._ht1 is not None
+
+    @property
+    def table_sizes(self) -> tuple[int, int]:
+        """(ht0 size, ht1 size or 0) — for tests and INFO output."""
+        return self._ht0.size, self._ht1.size if self._ht1 else 0
+
+    def _maybe_start_rehash(self) -> None:
+        if self.is_rehashing:
+            return
+        if self._ht0.used < self._ht0.size:
+            return
+        new_size = self._ht0.size
+        target = self._ht0.used * 2
+        while new_size < target:
+            new_size *= 2
+        self._ht1 = _Table(new_size)
+        self._rehash_idx = 0
+
+    def _rehash_step(self) -> None:
+        """Migrate up to REHASH_STEP_BUCKETS non-empty buckets to ht1."""
+        if not self.is_rehashing:
+            return
+        assert self._ht1 is not None
+        migrated = 0
+        empty_visits = 0
+        while migrated < REHASH_STEP_BUCKETS:
+            if self._rehash_idx >= self._ht0.size:
+                self._finish_rehash()
+                return
+            chain = self._ht0.buckets[self._rehash_idx]
+            if not chain:
+                self._rehash_idx += 1
+                empty_visits += 1
+                if empty_visits >= REHASH_MAX_EMPTY_VISITS:
+                    return
+                continue
+            for ptr in chain:
+                key, __ = ptr.deref()
+                slot = self._hash(key) & self._ht1.mask
+                bucket = self._ht1.buckets[slot]
+                if bucket is None:
+                    bucket = self._ht1.buckets[slot] = []
+                bucket.append(ptr)
+            self._ht1.used += len(chain)
+            self._ht0.used -= len(chain)
+            self._ht0.buckets[self._rehash_idx] = None
+            self._rehash_idx += 1
+            migrated += 1
+        if self._rehash_idx >= self._ht0.size:
+            self._finish_rehash()
+
+    def _finish_rehash(self) -> None:
+        assert self._ht1 is not None
+        assert self._ht0.used == 0
+        self._ht0 = self._ht1
+        self._ht1 = None
+        self._rehash_idx = 0
+        self.rehashes_completed += 1
+
+    def _tables(self) -> Iterator[_Table]:
+        yield self._ht0
+        if self._ht1 is not None:
+            yield self._ht1
+
+    # ------------------------------------------------------------------
+    # mapping operations
+    # ------------------------------------------------------------------
+
+    def put(self, key: bytes, value: Any, size: int | None = None) -> SoftPtr:
+        """Insert or overwrite; returns the entry's soft pointer."""
+        self._check_key(key)
+        self._rehash_step()
+        existing = self._find(key)
+        if existing is not None:
+            ptr, table, slot = existing
+            self._remove_ptr(ptr, table, slot)
+            self._free(ptr)
+        self._maybe_start_rehash()
+        target = self._ht1 if self.is_rehashing else self._ht0
+        assert target is not None
+        ptr = self._alloc(size or self._entry_size, (key, value))
+        slot = self._hash(key) & target.mask
+        bucket = target.buckets[slot]
+        if bucket is None:
+            bucket = target.buckets[slot] = []
+        bucket.append(ptr)
+        target.used += 1
+        self._by_age[ptr.alloc_id] = ptr
+        return ptr
+
+    def get(self, key: bytes, default: Any = None) -> Any:
+        self._check_key(key)
+        self._rehash_step()
+        found = self._find(key)
+        if found is None:
+            return default
+        __, value = found[0].deref()
+        return value
+
+    def __contains__(self, key: bytes) -> bool:
+        return self._find(key) is not None
+
+    def delete(self, key: bytes) -> bool:
+        self._check_key(key)
+        self._rehash_step()
+        found = self._find(key)
+        if found is None:
+            return False
+        ptr, table, slot = found
+        self._remove_ptr(ptr, table, slot)
+        del self._by_age[ptr.alloc_id]
+        self._free(ptr)
+        return True
+
+    def __len__(self) -> int:
+        return self._ht0.used + (self._ht1.used if self._ht1 else 0)
+
+    def keys(self) -> Iterator[bytes]:
+        for table in self._tables():
+            for chain in table.buckets:
+                if chain:
+                    for ptr in chain:
+                        key, __ = ptr.deref()
+                        yield key
+
+    def items(self) -> Iterator[tuple[bytes, Any]]:
+        for table in self._tables():
+            for chain in table.buckets:
+                if chain:
+                    for ptr in chain:
+                        yield ptr.deref()
+
+    def clear(self) -> None:
+        for table in self._tables():
+            for chain in table.buckets:
+                if chain:
+                    for ptr in chain:
+                        self._free(ptr)
+        self._ht0 = _Table(INITIAL_SIZE)
+        self._ht1 = None
+        self._rehash_idx = 0
+        self._by_age.clear()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check_key(key: bytes) -> None:
+        if not isinstance(key, bytes):
+            raise TypeError(f"keys must be bytes, got {type(key).__name__}")
+
+    def _find(self, key: bytes) -> tuple[SoftPtr, _Table, int] | None:
+        h = self._hash(key)
+        for table in self._tables():
+            slot = h & table.mask
+            chain = table.buckets[slot]
+            if chain:
+                for ptr in chain:
+                    entry_key, __ = ptr.deref()
+                    if entry_key == key:
+                        return ptr, table, slot
+        return None
+
+    def _remove_ptr(self, ptr: SoftPtr, table: _Table, slot: int) -> None:
+        chain = table.buckets[slot]
+        assert chain is not None
+        chain.remove(ptr)
+        if not chain:
+            table.buckets[slot] = None
+        table.used -= 1
+
+    # ------------------------------------------------------------------
+    # reclaim contract: oldest entries first (the Redis integration)
+    # ------------------------------------------------------------------
+
+    def evict_one(self) -> bool:
+        for alloc_id, ptr in self._by_age.items():
+            if not ptr.allocation.pinned:
+                key, __ = ptr.deref()
+                found = self._find(key)
+                assert found is not None and found[0] is ptr
+                self._remove_ptr(ptr, found[1], found[2])
+                del self._by_age[alloc_id]
+                self._reclaim_ptr(ptr)
+                return True
+        return False
+
+    def _free(self, ptr: SoftPtr) -> None:
+        # Keep the age index consistent on every free path.
+        self._by_age.pop(ptr.alloc_id, None)
+        super()._free(ptr)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SoftDict {self.name!r} used={len(self)} "
+            f"sizes={self.table_sizes} rehashing={self.is_rehashing}>"
+        )

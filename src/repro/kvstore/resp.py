@@ -1,0 +1,232 @@
+"""RESP2 (REdis Serialization Protocol) codec.
+
+Implements the five RESP2 types — simple strings, errors, integers,
+bulk strings, arrays — with an incremental parser suitable for a
+byte-stream server. Clients encode commands as arrays of bulk strings,
+exactly like real Redis clients.
+
+Python mapping:
+
+====================  =============================
+RESP type             Python value
+====================  =============================
+simple string ``+``   :class:`SimpleString`
+error ``-``           :class:`RespError`
+integer ``:``         ``int``
+bulk string ``$``     ``bytes`` (``None`` for null)
+array ``*``           ``list`` (``None`` for null)
+====================  =============================
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+CRLF = b"\r\n"
+
+
+class SimpleString(str):
+    """A RESP simple string (``+OK\\r\\n``) — distinct from bulk strings."""
+
+
+class RespError(Exception):
+    """A RESP error reply (``-ERR ...\\r\\n``)."""
+
+    def __init__(self, message: str) -> None:
+        self.message = message
+        super().__init__(message)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RespError) and other.message == self.message
+
+    def __hash__(self) -> int:
+        return hash(("RespError", self.message))
+
+
+class ProtocolError(ValueError):
+    """Malformed RESP input on the wire."""
+
+
+def _to_bulk(value: Any) -> bytes:
+    """Coerce a command argument into bulk-string bytes."""
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, str):
+        return value.encode()
+    if isinstance(value, (int, float)):
+        return repr(value).encode() if isinstance(value, float) else str(value).encode()
+    raise TypeError(f"cannot send {type(value).__name__} as a bulk string")
+
+
+def encode_command(*args: Any) -> bytes:
+    """Encode a client command as an array of bulk strings.
+
+    >>> encode_command("SET", "k", "v")
+    b'*3\\r\\n$3\\r\\nSET\\r\\n$1\\r\\nk\\r\\n$1\\r\\nv\\r\\n'
+    """
+    if not args:
+        raise ValueError("empty command")
+    out = [b"*%d\r\n" % len(args)]
+    for arg in args:
+        data = _to_bulk(arg)
+        out.append(b"$%d\r\n" % len(data))
+        out.append(data)
+        out.append(CRLF)
+    return b"".join(out)
+
+
+def encode_reply(value: Any) -> bytes:
+    """Encode a server reply."""
+    if isinstance(value, SimpleString):
+        return b"+" + str(value).encode() + CRLF
+    if isinstance(value, RespError):
+        return b"-" + value.message.encode() + CRLF
+    if isinstance(value, bool):
+        # Redis has no boolean in RESP2; map to integer like redis-py does.
+        return b":%d\r\n" % int(value)
+    if isinstance(value, int):
+        return b":%d\r\n" % value
+    if value is None:
+        return b"$-1\r\n"
+    if isinstance(value, str):
+        value = value.encode()
+    if isinstance(value, bytes):
+        return b"$%d\r\n" % len(value) + value + CRLF
+    if isinstance(value, (list, tuple)):
+        out = [b"*%d\r\n" % len(value)]
+        out.extend(encode_reply(item) for item in value)
+        return b"".join(out)
+    raise TypeError(f"cannot encode {type(value).__name__} as RESP")
+
+
+class RespParser:
+    """Incremental RESP parser.
+
+    Feed it raw bytes; pop complete values with :meth:`parse_one` or
+    drain everything available with :meth:`parse_all`. Partial input is
+    buffered until completed by a later feed.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._pos = 0
+
+    def feed(self, data: bytes) -> None:
+        self._buf.extend(data)
+
+    @property
+    def buffered_bytes(self) -> int:
+        return len(self._buf) - self._pos
+
+    def parse_one(self) -> Any | None:
+        """Return the next complete value, or ``None`` if more bytes needed.
+
+        ``None`` as a *parsed value* (null bulk/array) is disambiguated
+        by :meth:`parse_all`, which callers should prefer; here a null
+        parse returns the :data:`NULL` sentinel.
+        """
+        start = self._pos
+        try:
+            value = self._parse_value()
+        except _Incomplete:
+            self._pos = start
+            return None
+        self._compact()
+        return value
+
+    def parse_all(self) -> list[Any]:
+        """All complete values currently buffered (nulls become ``None``)."""
+        values = []
+        while True:
+            value = self.parse_one()
+            if value is None:
+                break
+            values.append(None if value is NULL else value)
+        return values
+
+    # -- internals ---------------------------------------------------------
+
+    def _compact(self) -> None:
+        # Periodically discard consumed prefix so the buffer stays small.
+        if self._pos > 4096:
+            del self._buf[: self._pos]
+            self._pos = 0
+
+    def _read_line(self) -> bytes:
+        idx = self._buf.find(CRLF, self._pos)
+        if idx < 0:
+            raise _Incomplete
+        line = bytes(self._buf[self._pos:idx])
+        self._pos = idx + 2
+        return line
+
+    def _read_exact(self, count: int) -> bytes:
+        end = self._pos + count
+        if len(self._buf) < end + 2:
+            raise _Incomplete
+        data = bytes(self._buf[self._pos:end])
+        if bytes(self._buf[end:end + 2]) != CRLF:
+            raise ProtocolError("bulk string not terminated by CRLF")
+        self._pos = end + 2
+        return data
+
+    def _parse_value(self) -> Any:
+        if self._pos >= len(self._buf):
+            raise _Incomplete
+        kind = self._buf[self._pos:self._pos + 1]
+        self._pos += 1
+        if kind == b"+":
+            return SimpleString(_decode_line(self._read_line()))
+        if kind == b"-":
+            return RespError(_decode_line(self._read_line()))
+        if kind == b":":
+            return _parse_int(self._read_line())
+        if kind == b"$":
+            length = _parse_int(self._read_line())
+            if length == -1:
+                return NULL
+            if length < 0:
+                raise ProtocolError(f"invalid bulk length {length}")
+            return self._read_exact(length)
+        if kind == b"*":
+            length = _parse_int(self._read_line())
+            if length == -1:
+                return NULL
+            if length < 0:
+                raise ProtocolError(f"invalid array length {length}")
+            items = []
+            for _ in range(length):
+                item = self._parse_value()
+                items.append(None if item is NULL else item)
+            return items
+        raise ProtocolError(f"unknown RESP type byte {kind!r}")
+
+
+class _Incomplete(Exception):
+    """Internal: not enough buffered bytes for a complete value."""
+
+
+class _Null:
+    """Sentinel distinguishing parsed RESP null from 'need more bytes'."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<RESP null>"
+
+
+#: parsed RESP null ($-1 or *-1), as returned by :meth:`RespParser.parse_one`
+NULL = _Null()
+
+
+def _parse_int(line: bytes) -> int:
+    try:
+        return int(line)
+    except ValueError:
+        raise ProtocolError(f"invalid integer {line!r}") from None
+
+
+def _decode_line(line: bytes) -> str:
+    """Decode a simple-string/error line; garbage is a protocol error."""
+    try:
+        return line.decode()
+    except UnicodeDecodeError:
+        raise ProtocolError(f"non-UTF-8 line {line!r}") from None

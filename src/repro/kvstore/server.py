@@ -1,0 +1,60 @@
+"""Bytes-in / bytes-out server front-end.
+
+Like Redis, the server is single-threaded: it consumes a client's RESP
+byte stream, executes each complete command against the store, and
+emits the RESP replies. Transport is left to the caller (the tests and
+examples drive it in-process; a socket loop would simply shuttle bytes).
+"""
+
+from __future__ import annotations
+
+from repro.kvstore.commands import dispatch
+from repro.kvstore.resp import ProtocolError, RespError, RespParser, encode_reply
+from repro.kvstore.store import DataStore
+
+
+class KvServer:
+    """One server instance bound to one :class:`DataStore`."""
+
+    def __init__(self, store: DataStore) -> None:
+        self.store = store
+        self._parser = RespParser()
+        self.commands_processed = 0
+        self.protocol_errors = 0
+
+    def feed(self, data: bytes) -> bytes:
+        """Process raw client bytes; return the concatenated replies.
+
+        Incomplete trailing commands stay buffered for the next feed —
+        exactly how a socket server handles short reads.
+        """
+        self._parser.feed(data)
+        out = bytearray()
+        try:
+            commands = self._parser.parse_all()
+        except ProtocolError as exc:
+            # Real Redis closes the connection on a protocol error; the
+            # in-process equivalent is dropping the poisoned input
+            # buffer so the session can continue with fresh commands.
+            self._parser = RespParser()
+            self.protocol_errors += 1
+            return encode_reply(RespError(f"ERR protocol error: {exc}"))
+        for argv in commands:
+            out.extend(self._run(argv))
+        return bytes(out)
+
+    def _run(self, argv: object) -> bytes:
+        if not isinstance(argv, list) or not all(
+            isinstance(a, bytes) for a in argv
+        ):
+            return encode_reply(
+                RespError("ERR protocol error: expected array of bulk strings")
+            )
+        self.commands_processed += 1
+        return encode_reply(dispatch(self.store, argv))
+
+    def __repr__(self) -> str:
+        return (
+            f"<KvServer store={self.store.name!r} "
+            f"processed={self.commands_processed}>"
+        )

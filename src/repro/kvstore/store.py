@@ -1,0 +1,586 @@
+"""The key-value store: keyspace, TTLs, and soft-memory integration.
+
+This is the "Redis side" of the paper's section 5 experiment. The
+keyspace is a :class:`~repro.kvstore.dict.SoftDict` (entries soft, keys
+and values traditional); the store installs the reclamation callback
+that "cleans up associated traditional memory for the reclaimed
+entries" — the code the paper found dominating the 3.75 s reclamation.
+Lookups of reclaimed keys return "not found", the caching contract the
+paper describes (clients re-fetch from the database on miss).
+
+Values are typed like Redis: strings (``bytes``), hashes, and lists.
+Mutating a hash or list re-charges the entry's soft allocation, so the
+soft footprint always tracks the data actually held.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import random
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.core.sma import SoftMemoryAllocator
+from repro.kvstore.dict import SoftDict
+from repro.kvstore.values import (
+    Value,
+    expect_type,
+    type_name,
+    value_bytes,
+)
+
+
+@dataclass
+class StoreConfig:
+    """Store tuning knobs.
+
+    ``entry_overhead_bytes`` models the dictEntry + robj headers Redis
+    spends per pair: with the paper's 130 K pairs in 10 MiB, each entry
+    averages ~80 bytes, so the default overhead assumes short keys and
+    values.
+    """
+
+    entry_overhead_bytes: int = 56
+    keyspace_priority: int = 0
+    #: clock used for TTLs; swap in a SimClock's ``now`` for simulation
+    time_fn: Callable[[], float] = field(default=time.monotonic)
+
+
+@dataclass
+class StoreStats:
+    """Operation and reclamation counters (INFO output)."""
+
+    hits: int = 0
+    misses: int = 0
+    keys_set: int = 0
+    keys_deleted: int = 0
+    expired_keys: int = 0
+    #: entries removed by soft memory reclamation (not by clients)
+    reclaimed_keys: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class DataStore:
+    """Single-threaded keyspace with Redis semantics."""
+
+    def __init__(
+        self,
+        sma: SoftMemoryAllocator,
+        config: StoreConfig | None = None,
+        name: str = "redis",
+    ) -> None:
+        self.name = name
+        self.config = config or StoreConfig()
+        self._sma = sma
+        self._dict = SoftDict(
+            sma,
+            name=f"{name}-keyspace",
+            priority=self.config.keyspace_priority,
+            callback=self._on_entry_reclaimed,
+        )
+        #: key -> absolute expiry deadline (traditional memory)
+        self._expires: dict[bytes, float] = {}
+        self.stats = StoreStats()
+        #: bytes of keys+values held in traditional memory
+        self.traditional_bytes = 0
+        self._rng = random.Random(0)
+
+    # ------------------------------------------------------------------
+    # soft memory integration
+    # ------------------------------------------------------------------
+
+    def _entry_size(self, key: bytes, value: Value) -> int:
+        return self.config.entry_overhead_bytes + len(key) + value_bytes(value)
+
+    def _on_entry_reclaimed(self, payload: tuple[bytes, Value]) -> None:
+        """Last-chance callback: free the traditional side of an entry.
+
+        This mirrors the paper's Redis patch — the reclaimed soft element
+        points at traditionally-allocated key and value, which must be
+        released here or they leak.
+        """
+        key, value = payload
+        self.traditional_bytes -= len(key) + value_bytes(value)
+        self._expires.pop(key, None)
+        self.stats.reclaimed_keys += 1
+
+    @property
+    def soft_bytes(self) -> int:
+        """Live soft bytes behind the keyspace."""
+        return self._dict.soft_bytes
+
+    @property
+    def soft_pages(self) -> int:
+        return self._dict.soft_pages
+
+    @property
+    def keyspace(self) -> SoftDict:
+        return self._dict
+
+    @property
+    def sma(self) -> SoftMemoryAllocator:
+        return self._sma
+
+    # ------------------------------------------------------------------
+    # expiry
+    # ------------------------------------------------------------------
+
+    def _now(self) -> float:
+        return self.config.time_fn()
+
+    def _check_expired(self, key: bytes) -> bool:
+        """Lazy expiry: delete the key if its deadline passed."""
+        deadline = self._expires.get(key)
+        if deadline is None or self._now() < deadline:
+            return False
+        self._delete_raw(key)
+        self.stats.expired_keys += 1
+        return True
+
+    def sweep_expired(self) -> int:
+        """Active expiry cycle: purge every key past its deadline."""
+        now = self._now()
+        doomed = [k for k, d in self._expires.items() if d <= now]
+        for key in doomed:
+            self._delete_raw(key)
+            self.stats.expired_keys += 1
+        return len(doomed)
+
+    # ------------------------------------------------------------------
+    # typed-value internals
+    # ------------------------------------------------------------------
+
+    def _read(self, key: bytes) -> Value | None:
+        """Lazy-expiring raw read with hit/miss accounting."""
+        if self._check_expired(key):
+            self.stats.misses += 1
+            return None
+        value = self._dict.get(key)
+        if value is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return value
+
+    def _peek(self, key: bytes) -> Value | None:
+        """Lazy-expiring raw read without hit/miss accounting."""
+        if self._check_expired(key):
+            return None
+        return self._dict.get(key)
+
+    def _write(
+        self, key: bytes, value: Value, *, ex: float | None, keep_ttl: bool
+    ) -> None:
+        """Insert or replace a value, keeping all ledgers consistent."""
+        old = self._dict.get(key)
+        if old is not None:
+            self.traditional_bytes -= len(key) + value_bytes(old)
+        self._dict.put(key, value, size=self._entry_size(key, value))
+        self.traditional_bytes += len(key) + value_bytes(value)
+        if ex is not None:
+            self._expires[key] = self._now() + ex
+        elif not keep_ttl:
+            self._expires.pop(key, None)
+        self.stats.keys_set += 1
+
+    def _recharge(self, key: bytes, value: Value) -> None:
+        """Re-charge an entry after in-place mutation of its value."""
+        self._write(key, value, ex=None, keep_ttl=True)
+
+    def _read_typed(self, key: bytes, expected: type) -> Any | None:
+        value = self._read(key)
+        if value is None:
+            return None
+        return expect_type(value, expected)
+
+    # ------------------------------------------------------------------
+    # string commands
+    # ------------------------------------------------------------------
+
+    def set(
+        self,
+        key: bytes,
+        value: bytes,
+        *,
+        ex: float | None = None,
+        keep_ttl: bool = False,
+    ) -> None:
+        """SET: store ``value`` under ``key``; optional relative expiry."""
+        self._check_types(key, value)
+        self._write(key, value, ex=ex, keep_ttl=keep_ttl)
+
+    def get(self, key: bytes) -> bytes | None:
+        """GET: ``None`` for missing, expired, or *reclaimed* keys."""
+        value = self._read(key)
+        if value is None:
+            return None
+        return expect_type(value, bytes)
+
+    def getdel(self, key: bytes) -> bytes | None:
+        """GETDEL: read and remove in one step."""
+        value = self.get(key)
+        if value is not None:
+            self.delete(key)
+        return value
+
+    def getrange(self, key: bytes, start: int, end: int) -> bytes:
+        """GETRANGE: substring with Redis's inclusive-end semantics."""
+        raw = self.get(key) or b""
+        if end == -1:
+            return raw[start:]
+        if end < -1:
+            end += 1
+            return raw[start:end] if end else raw[start:]
+        return raw[start:end + 1]
+
+    def setrange(self, key: bytes, offset: int, chunk: bytes) -> int:
+        """SETRANGE: overwrite at ``offset``, zero-padding as needed."""
+        if offset < 0:
+            raise ValueError("offset is out of range")
+        raw = self._peek(key)
+        raw = expect_type(raw, bytes) if raw is not None else b""
+        if len(raw) < offset:
+            raw = raw + b"\x00" * (offset - len(raw))
+        combined = raw[:offset] + chunk + raw[offset + len(chunk):]
+        self._recharge(key, combined)
+        return len(combined)
+
+    def incrby(self, key: bytes, delta: int) -> int:
+        raw = self.get(key)
+        if raw is None:
+            current = 0
+        else:
+            try:
+                current = int(raw)
+            except ValueError:
+                raise ValueError(
+                    "value is not an integer or out of range"
+                ) from None
+        current += delta
+        self.set(key, str(current).encode(), keep_ttl=True)
+        return current
+
+    def append(self, key: bytes, suffix: bytes) -> int:
+        raw = self.get(key) or b""
+        combined = raw + suffix
+        self.set(key, combined, keep_ttl=True)
+        return len(combined)
+
+    def strlen(self, key: bytes) -> int:
+        raw = self.get(key)
+        return len(raw) if raw is not None else 0
+
+    # ------------------------------------------------------------------
+    # hash commands
+    # ------------------------------------------------------------------
+
+    def hset(self, key: bytes, mapping: dict[bytes, bytes]) -> int:
+        """HSET: set fields; returns the number of *new* fields."""
+        table = self._peek(key)
+        if table is None:
+            table = {}
+        else:
+            table = dict(expect_type(table, dict))
+        added = sum(1 for f in mapping if f not in table)
+        table.update(mapping)
+        self._recharge(key, table)
+        return added
+
+    def hget(self, key: bytes, fld: bytes) -> bytes | None:
+        table = self._read_typed(key, dict)
+        return table.get(fld) if table is not None else None
+
+    def hdel(self, key: bytes, *fields: bytes) -> int:
+        table = self._peek(key)
+        if table is None:
+            return 0
+        table = dict(expect_type(table, dict))
+        removed = 0
+        for fld in fields:
+            if fld in table:
+                del table[fld]
+                removed += 1
+        if removed:
+            if table:
+                self._recharge(key, table)
+            else:
+                self._delete_raw(key)  # Redis removes empty hashes
+        return removed
+
+    def hlen(self, key: bytes) -> int:
+        table = self._read_typed(key, dict)
+        return len(table) if table is not None else 0
+
+    def hexists(self, key: bytes, fld: bytes) -> bool:
+        table = self._read_typed(key, dict)
+        return table is not None and fld in table
+
+    def hkeys(self, key: bytes) -> list[bytes]:
+        table = self._read_typed(key, dict)
+        return list(table) if table is not None else []
+
+    def hvals(self, key: bytes) -> list[bytes]:
+        table = self._read_typed(key, dict)
+        return list(table.values()) if table is not None else []
+
+    def hgetall(self, key: bytes) -> dict[bytes, bytes]:
+        table = self._read_typed(key, dict)
+        return dict(table) if table is not None else {}
+
+    def hincrby(self, key: bytes, fld: bytes, delta: int) -> int:
+        table = self._peek(key)
+        table = dict(expect_type(table, dict)) if table is not None else {}
+        try:
+            current = int(table.get(fld, b"0"))
+        except ValueError:
+            raise ValueError("hash value is not an integer") from None
+        current += delta
+        table[fld] = str(current).encode()
+        self._recharge(key, table)
+        return current
+
+    # ------------------------------------------------------------------
+    # list commands
+    # ------------------------------------------------------------------
+
+    def _list_for_push(self, key: bytes) -> deque:
+        value = self._peek(key)
+        if value is None:
+            return deque()
+        return deque(expect_type(value, deque))
+
+    def lpush(self, key: bytes, *values: bytes) -> int:
+        items = self._list_for_push(key)
+        for value in values:
+            items.appendleft(value)
+        self._recharge(key, items)
+        return len(items)
+
+    def rpush(self, key: bytes, *values: bytes) -> int:
+        items = self._list_for_push(key)
+        items.extend(values)
+        self._recharge(key, items)
+        return len(items)
+
+    def _pop(self, key: bytes, left: bool) -> bytes | None:
+        value = self._read(key)
+        if value is None:
+            return None
+        items = deque(expect_type(value, deque))
+        item = items.popleft() if left else items.pop()
+        if items:
+            self._recharge(key, items)
+        else:
+            self._delete_raw(key)  # Redis removes empty lists
+        return item
+
+    def lpop(self, key: bytes) -> bytes | None:
+        return self._pop(key, left=True)
+
+    def rpop(self, key: bytes) -> bytes | None:
+        return self._pop(key, left=False)
+
+    def llen(self, key: bytes) -> int:
+        value = self._read_typed(key, deque)
+        return len(value) if value is not None else 0
+
+    def lrange(self, key: bytes, start: int, stop: int) -> list[bytes]:
+        """LRANGE with Redis's inclusive-stop, negative-index semantics."""
+        value = self._read_typed(key, deque)
+        if value is None:
+            return []
+        items = list(value)
+        if start < 0:
+            start = max(0, len(items) + start)
+        if stop < 0:
+            stop = len(items) + stop
+        return items[start:stop + 1]
+
+    def lindex(self, key: bytes, index: int) -> bytes | None:
+        value = self._read_typed(key, deque)
+        if value is None:
+            return None
+        items = list(value)
+        try:
+            return items[index]
+        except IndexError:
+            return None
+
+    # ------------------------------------------------------------------
+    # key management
+    # ------------------------------------------------------------------
+
+    def delete(self, *keys: bytes) -> int:
+        """DEL: remove keys; returns how many existed."""
+        removed = 0
+        for key in keys:
+            if self._check_expired(key):
+                continue
+            if self._delete_raw(key):
+                removed += 1
+                self.stats.keys_deleted += 1
+        return removed
+
+    def _delete_raw(self, key: bytes) -> bool:
+        value = self._dict.get(key)
+        if value is None:
+            return False
+        self._dict.delete(key)
+        self._expires.pop(key, None)
+        self.traditional_bytes -= len(key) + value_bytes(value)
+        return True
+
+    def exists(self, *keys: bytes) -> int:
+        return sum(
+            1
+            for key in keys
+            if not self._check_expired(key) and key in self._dict
+        )
+
+    def type_of(self, key: bytes) -> bytes | None:
+        """TYPE: b"string" / b"hash" / b"list", or None if missing."""
+        value = self._peek(key)
+        return type_name(value) if value is not None else None
+
+    def rename(self, src: bytes, dst: bytes) -> None:
+        """RENAME: move a value (and its TTL) to a new key."""
+        value = self._peek(src)
+        if value is None:
+            raise KeyError("no such key")
+        deadline = self._expires.get(src)
+        self._delete_raw(src)
+        ex = None if deadline is None else max(0.0, deadline - self._now())
+        self._write(dst, value, ex=ex, keep_ttl=False)
+
+    def renamenx(self, src: bytes, dst: bytes) -> bool:
+        """RENAMENX: rename only if ``dst`` does not exist."""
+        if self._peek(dst) is not None:
+            return False
+        self.rename(src, dst)
+        return True
+
+    def randomkey(self) -> bytes | None:
+        """RANDOMKEY: a uniformly random live key (None when empty)."""
+        self.sweep_expired()
+        keys = list(self._dict.keys())
+        return self._rng.choice(keys) if keys else None
+
+    def expire(self, key: bytes, seconds: float) -> bool:
+        if self._check_expired(key) or key not in self._dict:
+            return False
+        self._expires[key] = self._now() + seconds
+        return True
+
+    def expireat(self, key: bytes, deadline: float) -> bool:
+        """EXPIREAT: absolute deadline (store-clock seconds)."""
+        if self._check_expired(key) or key not in self._dict:
+            return False
+        self._expires[key] = deadline
+        return True
+
+    def ttl(self, key: bytes) -> int:
+        """TTL in whole seconds; -2 missing key, -1 no expiry."""
+        pttl = self.pttl(key)
+        return pttl if pttl < 0 else max(0, round(pttl / 1000))
+
+    def pttl(self, key: bytes) -> int:
+        """PTTL in milliseconds; -2 missing key, -1 no expiry."""
+        if self._check_expired(key) or key not in self._dict:
+            return -2
+        deadline = self._expires.get(key)
+        if deadline is None:
+            return -1
+        return max(0, round((deadline - self._now()) * 1000))
+
+    def persist(self, key: bytes) -> bool:
+        if self._check_expired(key) or key not in self._dict:
+            return False
+        return self._expires.pop(key, None) is not None
+
+    # ------------------------------------------------------------------
+    # keyspace commands
+    # ------------------------------------------------------------------
+
+    def keys(self, pattern: bytes = b"*") -> list[bytes]:
+        self.sweep_expired()
+        pat = pattern.decode()
+        return [
+            k for k in self._dict.keys() if fnmatch.fnmatchcase(k.decode(), pat)
+        ]
+
+    def scan(
+        self,
+        cursor: int,
+        match: bytes | None = None,
+        count: int = 10,
+    ) -> tuple[int, list[bytes]]:
+        """SCAN: cursor-based iteration over the keyspace.
+
+        Simplified vs Redis: iterates a sorted snapshot, so keys added
+        mid-scan at earlier positions may be missed (Redis makes the
+        symmetric trade). Cursor 0 starts; returned cursor 0 ends.
+        """
+        if cursor < 0 or count <= 0:
+            raise ValueError("invalid cursor or count")
+        self.sweep_expired()
+        ordered = sorted(self._dict.keys())
+        window = ordered[cursor:cursor + count]
+        next_cursor = cursor + count
+        if next_cursor >= len(ordered):
+            next_cursor = 0
+        if match is not None:
+            pat = match.decode()
+            window = [
+                k for k in window if fnmatch.fnmatchcase(k.decode(), pat)
+            ]
+        return next_cursor, window
+
+    def scan_iter(self) -> Iterator[bytes]:
+        yield from self._dict.keys()
+
+    def dbsize(self) -> int:
+        self.sweep_expired()
+        return len(self._dict)
+
+    def flushall(self) -> None:
+        self._dict.clear()
+        self._expires.clear()
+        self.traditional_bytes = 0
+
+    def memory_usage(self, key: bytes) -> int | None:
+        """MEMORY USAGE: soft + traditional bytes of one key."""
+        value = self._peek(key)
+        if value is None:
+            return None
+        return (
+            self._entry_size(key, value) + len(key) + value_bytes(value)
+        )
+
+    def info(self) -> dict[str, Any]:
+        return {
+            "keys": len(self._dict),
+            "soft_bytes": self.soft_bytes,
+            "soft_pages": self.soft_pages,
+            "traditional_bytes": self.traditional_bytes,
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "hit_rate": round(self.stats.hit_rate, 4),
+            "expired_keys": self.stats.expired_keys,
+            "reclaimed_keys": self.stats.reclaimed_keys,
+            "keyspace_rehashing": self._dict.is_rehashing,
+            "evictions": self._dict.evictions,
+        }
+
+    @staticmethod
+    def _check_types(key: bytes, value: bytes) -> None:
+        if not isinstance(key, bytes) or not isinstance(value, bytes):
+            raise TypeError("keys and values must be bytes")
+
+    def __repr__(self) -> str:
+        return f"<DataStore {self.name!r} keys={len(self._dict)}>"

@@ -1,0 +1,152 @@
+"""TCP front-end: serve the store over real sockets.
+
+:class:`~repro.kvstore.server.KvServer` is bytes-in/bytes-out; this
+module puts a socket loop around it so the store speaks RESP over TCP
+like real Redis (one thread accepting, one thread per connection —
+the *store* itself stays single-threaded behind a lock, which is
+exactly Redis's own concurrency model: parallel I/O, serialized
+command execution).
+
+Intended for the examples and integration tests; production deployment
+of a Python store is not the point of a reproduction.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.kvstore.server import KvServer
+from repro.kvstore.store import DataStore
+
+
+class TcpKvServer:
+    """Threaded TCP front-end over one :class:`DataStore`.
+
+    Each connection gets its own :class:`KvServer` (and therefore its
+    own RESP input buffer — interleaved partial commands from separate
+    clients must never mix), while all command execution against the
+    shared store is serialized by one lock.
+
+    >>> # server = TcpKvServer(store).start()
+    >>> # ... connect with TcpKvClient(server.address) ...
+    >>> # server.stop()
+    """
+
+    def __init__(
+        self,
+        store: DataStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backlog: int = 16,
+    ) -> None:
+        self.store = store
+        self._lock = threading.Lock()  # serialized command execution
+        self._listener = socket.create_server(
+            (host, port), backlog=backlog, reuse_port=False
+        )
+        self._listener.settimeout(0.2)
+        self.address: tuple[str, int] = self._listener.getsockname()
+        self._stop = threading.Event()
+        self._accept_thread: threading.Thread | None = None
+        self._conn_threads: list[threading.Thread] = []
+        self.connections_served = 0
+
+    def start(self) -> "TcpKvServer":
+        """Begin accepting connections (returns immediately)."""
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="kv-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, close the listener, join workers."""
+        self._stop.set()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+        self._listener.close()
+        for thread in self._conn_threads:
+            thread.join(timeout=5)
+
+    def __enter__(self) -> "TcpKvServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, __ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            self.connections_served += 1
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name=f"kv-conn-{self.connections_served}",
+                daemon=True,
+            )
+            self._conn_threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        conn.settimeout(0.2)
+        session = KvServer(self.store)  # per-connection input buffer
+        try:
+            while not self._stop.is_set():
+                try:
+                    data = conn.recv(65536)
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                if not data:
+                    break
+                with self._lock:
+                    reply = session.feed(data)
+                if reply:
+                    conn.sendall(reply)
+        finally:
+            conn.close()
+
+
+class TcpKvClient:
+    """Blocking RESP client over a real socket."""
+
+    def __init__(self, address: tuple[str, int], timeout: float = 5.0) -> None:
+        from repro.kvstore.resp import RespParser
+
+        self._sock = socket.create_connection(address, timeout=timeout)
+        self._parser = RespParser()
+
+    def execute(self, *args: object) -> object:
+        """Send one command, block for its reply."""
+        from repro.kvstore.resp import RespError, encode_command
+
+        self._sock.sendall(encode_command(*args))
+        while True:
+            replies = self._parser.parse_all()
+            if replies:
+                reply = replies[0]
+                if isinstance(reply, RespError):
+                    raise reply
+                return reply
+            data = self._sock.recv(65536)
+            if not data:
+                raise ConnectionError("server closed the connection")
+            self._parser.feed(data)
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "TcpKvClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

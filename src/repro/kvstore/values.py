@@ -1,0 +1,55 @@
+"""Typed values for the key-value store.
+
+Redis keys hold typed values; we model the three types the experiments
+exercise: strings (``bytes``), hashes (``dict[bytes, bytes]``), and
+lists (``deque[bytes]``). Helpers here give each value a type name (for
+``TYPE`` / WRONGTYPE errors) and a byte size (for soft and traditional
+memory accounting).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Union
+
+Value = Union[bytes, dict, deque]
+
+
+class WrongTypeError(Exception):
+    """Operation applied to a key of the wrong type (Redis WRONGTYPE)."""
+
+    MESSAGE = (
+        "WRONGTYPE Operation against a key holding the wrong kind of value"
+    )
+
+    def __init__(self) -> None:
+        super().__init__(self.MESSAGE)
+
+
+def type_name(value: Value) -> bytes:
+    """The Redis TYPE name for ``value``."""
+    if isinstance(value, bytes):
+        return b"string"
+    if isinstance(value, dict):
+        return b"hash"
+    if isinstance(value, deque):
+        return b"list"
+    raise TypeError(f"unsupported value type {type(value).__name__}")
+
+
+def value_bytes(value: Value) -> int:
+    """Payload bytes of a value (for memory accounting)."""
+    if isinstance(value, bytes):
+        return len(value)
+    if isinstance(value, dict):
+        return sum(len(f) + len(v) for f, v in value.items())
+    if isinstance(value, deque):
+        return sum(len(item) for item in value)
+    raise TypeError(f"unsupported value type {type(value).__name__}")
+
+
+def expect_type(value: Value, expected: type) -> Value:
+    """Return ``value`` if it has the expected type, else WRONGTYPE."""
+    if not isinstance(value, expected):
+        raise WrongTypeError()
+    return value

@@ -1,0 +1,24 @@
+"""Exceptions raised by the memory substrate."""
+
+from __future__ import annotations
+
+
+class OutOfMemoryError(MemoryError):
+    """The machine has no free physical frames left.
+
+    This is the condition that, without soft memory, gets a process killed
+    (or its ``malloc`` fails). The soft memory stack exists to intercept
+    the pressure before it becomes this error.
+    """
+
+    def __init__(self, requested_frames: int, free_frames: int) -> None:
+        self.requested_frames = requested_frames
+        self.free_frames = free_frames
+        super().__init__(
+            f"requested {requested_frames} frame(s), "
+            f"only {free_frames} free"
+        )
+
+
+class FrameLeakError(RuntimeError):
+    """Internal invariant violation: frames freed twice or never allocated."""

@@ -1,0 +1,134 @@
+"""Free-extent map: the textbook allocator core.
+
+Both the per-SDS heaps of the Soft Memory Allocator and the
+:class:`~repro.mem.sysalloc.SystemAllocator` baseline place allocations
+inside pages with this structure, so the paper's SMA-vs-system-allocator
+comparison isolates exactly the *soft machinery* overhead (contexts,
+budgets, daemon traffic) rather than differences in fit policy.
+
+The paper describes its prototype as "a simple textbook memory allocator
+without optimizations"; we match that: first-fit over an address-ordered
+free list with eager coalescing.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+
+
+class ExtentMap:
+    """Byte-granularity free-space tracking over a region of ``capacity``.
+
+    Free space is a sorted list of non-overlapping, non-adjacent
+    ``(offset, length)`` extents. ``allocate`` is first-fit; ``free``
+    coalesces with both neighbours.
+    """
+
+    __slots__ = ("capacity", "_free", "free_bytes")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        #: address-ordered (offset, length) free extents
+        self._free: list[tuple[int, int]] = [(0, capacity)]
+        self.free_bytes = capacity
+
+    def allocate(self, size: int) -> int | None:
+        """Reserve ``size`` bytes; return the offset or ``None`` if no fit."""
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        free = self._free
+        for i, (offset, length) in enumerate(free):
+            if length >= size:
+                if length == size:
+                    free.pop(i)
+                else:
+                    free[i] = (offset + size, length - size)
+                self.free_bytes -= size
+                return offset
+        return None
+
+    def free(self, offset: int, size: int) -> None:
+        """Return the extent ``[offset, offset+size)`` to the free list."""
+        if size <= 0:
+            raise ValueError(f"free size must be positive, got {size}")
+        if offset < 0 or offset + size > self.capacity:
+            raise ValueError(
+                f"extent [{offset}, {offset + size}) outside region "
+                f"of capacity {self.capacity}"
+            )
+        free = self._free
+        i = bisect_left(free, (offset, 0))
+        # Overlap checks against the neighbours on either side.
+        if i < len(free):
+            nxt_off, _ = free[i]
+            if offset + size > nxt_off:
+                raise ValueError(
+                    f"double free: [{offset}, {offset + size}) overlaps "
+                    f"free extent at {nxt_off}"
+                )
+        if i > 0:
+            prev_off, prev_len = free[i - 1]
+            if prev_off + prev_len > offset:
+                raise ValueError(
+                    f"double free: [{offset}, {offset + size}) overlaps "
+                    f"free extent [{prev_off}, {prev_off + prev_len})"
+                )
+        freed = size
+        # Coalesce with successor.
+        if i < len(free) and free[i][0] == offset + size:
+            size += free[i][1]
+            free.pop(i)
+        # Coalesce with predecessor.
+        if i > 0 and free[i - 1][0] + free[i - 1][1] == offset:
+            prev_off, prev_len = free[i - 1]
+            free[i - 1] = (prev_off, prev_len + size)
+        else:
+            insort(free, (offset, size))
+        self.free_bytes += freed
+
+    @property
+    def used_bytes(self) -> int:
+        return self.capacity - self.free_bytes
+
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing is allocated in the region."""
+        return self.free_bytes == self.capacity
+
+    def largest_free_extent(self) -> int:
+        """Length of the largest single free extent (0 when full)."""
+        if not self._free:
+            return 0
+        return max(length for _, length in self._free)
+
+    def fits(self, size: int) -> bool:
+        """Would ``allocate(size)`` succeed right now?"""
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        return any(length >= size for _, length in self._free)
+
+    def fragmentation(self) -> float:
+        """1 - largest_free/total_free; 0 when free space is contiguous."""
+        if self.free_bytes == 0:
+            return 0.0
+        return 1.0 - self.largest_free_extent() / self.free_bytes
+
+    def extents(self) -> list[tuple[int, int]]:
+        """Snapshot of the free list (for tests and diagnostics)."""
+        return list(self._free)
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if the free list is malformed."""
+        total = 0
+        prev_end = -1
+        for offset, length in self._free:
+            assert length > 0, "zero-length extent"
+            assert offset > prev_end, (
+                "unsorted, overlapping, or uncoalesced extents"
+            )
+            assert offset + length <= self.capacity, "extent out of bounds"
+            total += length
+            prev_end = offset + length
+        assert total == self.free_bytes, "free_bytes out of sync"

@@ -1,0 +1,83 @@
+"""One mapped page with byte-granularity occupancy tracking.
+
+The paper's efficacy argument (section 3.1) hinges on knowing, per page,
+whether every allocation inside it has been freed — only *entirely free*
+pages can be returned to the operating system. :class:`Page` therefore
+tracks live allocation count and bytes via an :class:`ExtentMap`.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.mem.extent import ExtentMap
+from repro.util.units import PAGE_SIZE
+
+_page_ids = itertools.count(1)
+
+
+class Page:
+    """A physical-frame-backed page usable for intra-page allocation.
+
+    Pages are identity objects: two pages are equal only if they are the
+    same object. ``owner`` is a free-form debugging tag naming the heap or
+    pool currently holding the page.
+    """
+
+    __slots__ = ("page_id", "owner", "_extents", "live_allocs")
+
+    def __init__(self, owner: str = "") -> None:
+        self.page_id: int = next(_page_ids)
+        self.owner = owner
+        self._extents = ExtentMap(PAGE_SIZE)
+        self.live_allocs = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<Page {self.page_id} owner={self.owner!r} "
+            f"allocs={self.live_allocs} used={self.used_bytes}B>"
+        )
+
+    @property
+    def used_bytes(self) -> int:
+        return self._extents.used_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self._extents.free_bytes
+
+    @property
+    def is_free(self) -> bool:
+        """True when no live allocation remains — reclaimable as a page."""
+        return self.live_allocs == 0
+
+    def fits(self, size: int) -> bool:
+        return self._extents.fits(size)
+
+    def place(self, size: int) -> int | None:
+        """Place an allocation of ``size`` bytes; return its offset."""
+        offset = self._extents.allocate(size)
+        if offset is not None:
+            self.live_allocs += 1
+        return offset
+
+    def remove(self, offset: int, size: int) -> None:
+        """Free the allocation previously placed at ``offset``."""
+        if self.live_allocs <= 0:
+            raise ValueError(f"page {self.page_id} has no live allocations")
+        self._extents.free(offset, size)
+        self.live_allocs -= 1
+
+    def reset(self) -> None:
+        """Drop all occupancy state (used when a page changes hands)."""
+        self._extents = ExtentMap(PAGE_SIZE)
+        self.live_allocs = 0
+
+    def fragmentation(self) -> float:
+        return self._extents.fragmentation()
+
+    def check_invariants(self) -> None:
+        self._extents.check_invariants()
+        assert self.live_allocs >= 0
+        if self.live_allocs == 0:
+            assert self.used_bytes == 0, "free page with used bytes"

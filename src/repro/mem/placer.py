@@ -1,0 +1,201 @@
+"""Intra-page allocation placement shared by the SMA heaps and the baseline.
+
+A :class:`PagePlacer` owns a set of pages and decides where allocations
+land: small allocations (at most one page) go into a partially-used page
+via its extent map; large allocations get a dedicated run of whole pages
+(the classic small/large-object split). The Soft Memory Allocator's
+per-SDS heaps and the :class:`~repro.mem.sysalloc.SystemAllocator`
+baseline both build on this class, so performance comparisons between
+them measure only the soft-memory machinery.
+
+The fit policy is "textbook, no optimizations" like the paper's prototype:
+first-fit over a bounded window of recently-opened pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.page import Page
+from repro.util.units import PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where an allocation physically lives.
+
+    Small allocations occupy ``[offset, offset+size)`` of a single page.
+    Large allocations own every page in ``pages`` outright (``offset`` 0).
+    """
+
+    pages: tuple[Page, ...]
+    offset: int
+    size: int
+
+    @property
+    def is_large(self) -> bool:
+        return len(self.pages) > 1 or self.size > PAGE_SIZE
+
+
+class PagePlacer:
+    """Places and frees allocations within an owned set of pages.
+
+    The placer never talks to the machine: when it cannot fit an
+    allocation it returns ``None`` and the caller supplies pages through
+    :meth:`add_page`. This keeps page *sourcing* (free pool, budget,
+    daemon) strictly outside, where the SMA implements it.
+    """
+
+    #: How many partially-used pages first-fit inspects before giving up.
+    SCAN_LIMIT = 8
+
+    def __init__(self, owner: str = "") -> None:
+        self.owner = owner
+        #: every page owned by this placer
+        self._pages: dict[Page, None] = {}
+        #: insertion-ordered pages with any free space (small-object pool)
+        self._open: dict[Page, None] = {}
+        #: insertion-ordered entirely-free pages (O(1) reclaim scans)
+        self._free_pages: dict[Page, None] = {}
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    @property
+    def pages(self) -> list[Page]:
+        return list(self._pages)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(p.used_bytes for p in self._pages)
+
+    @property
+    def free_page_count(self) -> int:
+        return len(self._free_pages)
+
+    def pages_needed(self, size: int) -> int:
+        """Pages the caller must add for ``size`` to be placeable now.
+
+        Zero means :meth:`place` will succeed without new pages.
+        """
+        if size <= PAGE_SIZE:
+            return 0 if self._find_open_page(size) is not None else 1
+        needed = -(-size // PAGE_SIZE)
+        return max(0, needed - len(self._free_pages))
+
+    def _find_open_page(self, size: int) -> Page | None:
+        scanned = 0
+        for page in reversed(self._open):
+            if page.fits(size):
+                return page
+            scanned += 1
+            if scanned >= self.SCAN_LIMIT:
+                return None
+        return None
+
+    def add_page(self, page: Page) -> None:
+        """Hand the placer a (fully free) page to allocate from."""
+        if page in self._pages:
+            raise ValueError(f"page {page.page_id} already owned")
+        if not page.is_free:
+            raise ValueError(f"page {page.page_id} is not free")
+        page.owner = self.owner
+        self._pages[page] = None
+        self._open[page] = None
+        self._free_pages[page] = None
+
+    def place(self, size: int) -> Placement | None:
+        """Place ``size`` bytes; ``None`` means caller must add pages."""
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive: {size}")
+        if size <= PAGE_SIZE:
+            return self._place_small(size)
+        return self._place_large(size)
+
+    def _place_small(self, size: int) -> Placement | None:
+        page = self._find_open_page(size)
+        if page is None:
+            return None
+        offset = page.place(size)
+        assert offset is not None
+        self._free_pages.pop(page, None)
+        if page.free_bytes == 0:
+            self._open.pop(page, None)
+        return Placement(pages=(page,), offset=offset, size=size)
+
+    def _place_large(self, size: int) -> Placement | None:
+        needed = -(-size // PAGE_SIZE)
+        # Dedicated whole pages: take fully-free pages out of the open set.
+        if len(self._free_pages) < needed:
+            return None
+        chosen = list(self._free_pages)[:needed]
+        remaining = size
+        for page in chosen:
+            chunk = min(PAGE_SIZE, remaining)
+            offset = page.place(chunk)
+            assert offset == 0
+            remaining -= chunk
+            # Dedicated pages leave the small-object pool even if the tail
+            # page has slack; large objects don't share pages.
+            self._open.pop(page, None)
+            self._free_pages.pop(page, None)
+        return Placement(pages=tuple(chosen), offset=0, size=size)
+
+    def free(self, placement: Placement) -> None:
+        """Undo a placement; pages regain space but stay owned."""
+        if placement.is_large:
+            remaining = placement.size
+            for page in placement.pages:
+                chunk = min(PAGE_SIZE, remaining)
+                page.remove(0, chunk)
+                remaining -= chunk
+                self._open[page] = None
+                if page.is_free:
+                    self._free_pages[page] = None
+        else:
+            page = placement.pages[0]
+            page.remove(placement.offset, placement.size)
+            self._open[page] = None
+            if page.is_free:
+                self._free_pages[page] = None
+
+    def take_free_pages(self, max_count: int | None = None) -> list[Page]:
+        """Remove and return up to ``max_count`` entirely-free pages.
+
+        This is the page-granularity harvest step of reclamation: only
+        pages with no live allocation can leave the placer.
+        """
+        harvested: list[Page] = []
+        for page in list(self._free_pages):
+            if max_count is not None and len(harvested) >= max_count:
+                break
+            del self._pages[page]
+            del self._free_pages[page]
+            self._open.pop(page, None)
+            page.reset()
+            harvested.append(page)
+        return harvested
+
+    def fragmentation(self) -> float:
+        """Fraction of non-free-page free bytes (slack stuck in used pages)."""
+        total_free = sum(p.free_bytes for p in self._pages)
+        if total_free == 0:
+            return 0.0
+        harvestable = self.free_page_count * PAGE_SIZE
+        return 1.0 - harvestable / total_free
+
+    def check_invariants(self) -> None:
+        for page in self._pages:
+            page.check_invariants()
+        for page in self._open:
+            assert page in self._pages, "open page not owned"
+            assert page.free_bytes > 0, "full page in open set"
+        for page in self._free_pages:
+            assert page in self._pages, "free page not owned"
+            assert page.is_free, "non-free page in free set"
+        actual_free = sum(1 for p in self._pages if p.is_free)
+        assert actual_free == len(self._free_pages), "free-set out of sync"

@@ -1,0 +1,28 @@
+"""ML-training input cache use-case (section 2).
+
+The paper's second motivating example: deep-learning training is
+bottlenecked on the input pipeline, and informed storage caches (Quiver
+[11]) speed it up by keeping part of the dataset in memory. Growing
+that cache with *soft* memory uses otherwise-idle pages for throughput;
+when memory is needed elsewhere, the subsystem shrinks the cache and
+training merely slows down instead of anything being killed.
+
+* :class:`~repro.mlcache.dataset.SyntheticDataset` — a dataset with a
+  per-sample storage fetch cost,
+* :class:`~repro.mlcache.cache.InformedCache` — Quiver-style
+  substitutable-hit cache in soft memory (batches stay random and
+  unique per epoch),
+* :class:`~repro.mlcache.trainer.TrainerSim` — training loop whose step
+  time is max(compute, input fetch), reporting throughput.
+"""
+
+from repro.mlcache.cache import InformedCache
+from repro.mlcache.dataset import SyntheticDataset
+from repro.mlcache.trainer import TrainerSim, TrainerConfig
+
+__all__ = [
+    "InformedCache",
+    "SyntheticDataset",
+    "TrainerConfig",
+    "TrainerSim",
+]

@@ -1,0 +1,39 @@
+"""Synthetic training dataset with storage-fetch costs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import KIB
+
+
+@dataclass(frozen=True)
+class SyntheticDataset:
+    """A dataset of ``sample_count`` equally-sized samples.
+
+    ``fetch_cost`` is the simulated seconds to read one sample from
+    backing storage (the slow path a cache hit avoids); ``sample_bytes``
+    is the in-memory size of a decoded sample.
+    """
+
+    sample_count: int = 10_000
+    sample_bytes: int = 16 * KIB
+    fetch_cost: float = 2e-3
+
+    def __post_init__(self) -> None:
+        if self.sample_count <= 0:
+            raise ValueError("sample_count must be positive")
+        if self.sample_bytes <= 0:
+            raise ValueError("sample_bytes must be positive")
+        if self.fetch_cost < 0:
+            raise ValueError("fetch_cost must be non-negative")
+
+    @property
+    def total_bytes(self) -> int:
+        return self.sample_count * self.sample_bytes
+
+    def sample_payload(self, index: int) -> bytes:
+        """Deterministic stand-in for a decoded sample's contents."""
+        if not 0 <= index < self.sample_count:
+            raise IndexError(f"sample {index} out of range")
+        return index.to_bytes(8, "little")

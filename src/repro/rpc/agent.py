@@ -1,0 +1,192 @@
+"""Client-process side of the cross-process protocol.
+
+The :class:`SmaAgent` plugs into a
+:class:`~repro.core.locking.LockedSoftMemoryAllocator` as its daemon
+client: budget requests and releases become socket round-trips, and a
+background reader thread services the daemon's incoming DEMAND frames
+by running the SMA's reclamation and sending back the REPORT.
+
+Locking note: the application thread blocks inside ``request`` while
+holding the SMA's lock, so an incoming demand for *this* process could
+not take it — the daemon therefore never demands from a client with an
+in-flight request (its advertised ``reclaimable`` is zero while busy).
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+from typing import Any
+
+from repro.core.errors import SoftMemoryDenied
+from repro.core.locking import LockedSoftMemoryAllocator
+from repro.rpc.framing import FrameClosed, FrameStream
+
+_request_ids = itertools.count(1)
+
+
+class SmaAgent:
+    """Connects one process's SMA to a remote daemon.
+
+    Usage (inside the worker process)::
+
+        sma = LockedSoftMemoryAllocator(name="worker")
+        agent = SmaAgent.connect(socket_path, sma,
+                                 traditional_pages=100)
+        # ... use soft data structures normally ...
+        agent.close()
+    """
+
+    def __init__(
+        self,
+        stream: FrameStream,
+        sma: LockedSoftMemoryAllocator,
+        *,
+        name: str,
+        traditional_pages: int = 0,
+    ) -> None:
+        self._stream = stream
+        self._sma = sma
+        self.name = name
+        self.traditional_pages = traditional_pages
+        self._pending: dict[int, "threading.Event"] = {}
+        self._replies: dict[int, dict[str, Any]] = {}
+        self._send_lock = threading.Lock()
+        self._closed = threading.Event()
+        self.demands_served = 0
+
+        # handshake (before the reader thread exists: plain recv)
+        self._send({"op": "hello", "name": name,
+                    "traditional_pages": traditional_pages,
+                    **self._state()})
+        welcome = stream.recv()
+        if welcome.get("op") != "welcome":
+            raise ConnectionError(f"bad handshake reply: {welcome!r}")
+        self.pid = int(welcome["pid"])
+        sma.connect_daemon(self)  # must precede any budget changes
+        startup = int(welcome.get("startup_budget", 0))
+        if startup:
+            sma.budget.grant(startup)
+
+        self._reader = threading.Thread(
+            target=self._reader_loop, name=f"sma-agent-{name}", daemon=True
+        )
+        self._reader.start()
+
+    @classmethod
+    def connect(
+        cls,
+        socket_path: str,
+        sma: LockedSoftMemoryAllocator,
+        *,
+        traditional_pages: int = 0,
+        timeout: float = 30.0,
+    ) -> "SmaAgent":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(socket_path)
+        return cls(
+            FrameStream(sock), sma,
+            name=sma.name, traditional_pages=traditional_pages,
+        )
+
+    # ------------------------------------------------------------------
+    # DaemonClient protocol (called by the SMA, app thread)
+    # ------------------------------------------------------------------
+
+    def request(self, pages: int) -> int:
+        reply = self._round_trip({"op": "request", "pages": pages})
+        if reply["op"] == "grant":
+            return int(reply["pages"])
+        if reply["op"] == "deny":
+            raise SoftMemoryDenied(
+                self.pid, pages, int(reply.get("reclaimed", 0))
+            )
+        raise ConnectionError(f"unexpected reply: {reply!r}")
+
+    def notify_release(self, pages: int) -> None:
+        self._round_trip({"op": "release", "pages": pages})
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def _state(self) -> dict[str, int]:
+        """Ledger snapshot piggybacked on every client frame."""
+        budget = self._sma.budget
+        return {
+            "held": budget.held,
+            "granted": budget.granted,
+            "flexibility": self._sma.flexibility(),
+            "reclaimable": self._sma.reclaimable_pages(),
+        }
+
+    def _send(self, frame: dict[str, Any]) -> None:
+        with self._send_lock:
+            self._stream.send(frame)
+
+    def _round_trip(self, frame: dict[str, Any]) -> dict[str, Any]:
+        request_id = next(_request_ids)
+        done = threading.Event()
+        self._pending[request_id] = done
+        self._send({**frame, "id": request_id, **self._state()})
+        if not done.wait(timeout=60.0):
+            raise TimeoutError(f"daemon did not answer {frame['op']!r}")
+        return self._replies.pop(request_id)
+
+    def _reader_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                frame = self._stream.recv()
+            except (FrameClosed, OSError, ValueError):
+                break
+            if frame.get("op") == "demand":
+                self._serve_demand(frame)
+            else:
+                request_id = frame.get("id")
+                event = self._pending.pop(request_id, None)
+                if event is not None:
+                    self._replies[request_id] = frame
+                    event.set()
+        # unblock anything still waiting
+        for request_id, event in list(self._pending.items()):
+            self._replies[request_id] = {"op": "deny", "reclaimed": 0}
+            event.set()
+
+    DEMAND_LOCK_TIMEOUT = 2.0
+
+    def _serve_demand(self, frame: dict[str, Any]) -> None:
+        # Bounded lock wait: if our own application thread holds the
+        # SMA lock while blocked on a daemon round-trip, stalling here
+        # would deadlock the episode against us — report zero instead.
+        stats = self._sma.try_reclaim(
+            int(frame["pages"]), timeout=self.DEMAND_LOCK_TIMEOUT
+        )
+        if stats is None:
+            self._send({
+                "op": "report", "id": frame["id"],
+                "pages_reclaimed": 0, "pages_from_budget": 0,
+                "pages_from_pool": 0, "pages_from_sds": 0,
+                "allocations_freed": 0, "callbacks_invoked": 0,
+                "callback_errors": 0, "busy": True,
+            })
+            return
+        self.demands_served += 1
+        self._send({
+            "op": "report",
+            "id": frame["id"],
+            "pages_reclaimed": stats.pages_reclaimed,
+            "pages_from_budget": stats.pages_from_budget,
+            "pages_from_pool": stats.pages_from_pool,
+            "pages_from_sds": stats.pages_from_sds,
+            "allocations_freed": stats.allocations_freed,
+            "callbacks_invoked": stats.callbacks_invoked,
+            "callback_errors": stats.callback_errors,
+            **self._state(),
+        })
+
+    def close(self) -> None:
+        self._closed.set()
+        self._stream.close()
+        self._reader.join(timeout=5)

@@ -1,0 +1,58 @@
+"""Newline-delimited JSON frames over a stream socket.
+
+The protocol's payloads are small dictionaries (page counts, ids,
+stats), so JSON-per-line keeps the wire format debuggable with nothing
+but ``socat``. Frames never contain raw newlines because JSON strings
+escape them.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+
+class FrameClosed(ConnectionError):
+    """The peer closed the stream."""
+
+
+class FrameStream:
+    """Blocking frame reader/writer over a connected socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._buffer = bytearray()
+
+    def send(self, frame: dict[str, Any]) -> None:
+        """Serialize and send one frame (thread-safe per sendall)."""
+        data = json.dumps(frame, separators=(",", ":")).encode() + b"\n"
+        self._sock.sendall(data)
+
+    def recv(self) -> dict[str, Any]:
+        """Block until one complete frame arrives.
+
+        Raises :class:`FrameClosed` on EOF and ``ValueError`` on
+        malformed frames; honours the socket's timeout settings
+        (``socket.timeout`` propagates).
+        """
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._buffer[:newline])
+                del self._buffer[:newline + 1]
+                frame = json.loads(line)
+                if not isinstance(frame, dict):
+                    raise ValueError(f"frame is not an object: {frame!r}")
+                return frame
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise FrameClosed("peer closed the connection")
+            self._buffer.extend(chunk)
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()

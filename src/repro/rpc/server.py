@@ -1,0 +1,309 @@
+"""Daemon-process side of the cross-process protocol.
+
+Wraps a real :class:`~repro.daemon.smd.SoftMemoryDaemon` behind a unix
+domain socket. Each client process appears in the daemon's registry as
+a :class:`_RemoteSma` proxy whose ledgers are refreshed from the state
+snapshot piggybacked on every client frame, and whose ``reclaim`` sends
+a DEMAND over the wire and waits for the REPORT.
+
+Per connection there are two threads: a *reader* that only parses
+frames (so REPORTs always flow, even while this client's own request
+waits its turn) and a *handler* that executes requests against the
+daemon under a global lock (episodes from different clients must
+serialize — there is one capacity ledger).
+
+Liveness: a client with an in-flight request advertises zero
+reclaimable pages, so episodes triggered by other clients skip it —
+the demand that could deadlock against its blocked application thread
+is never sent. A crashed client is deregistered on disconnect and its
+budget returns to the unassigned pool (its memory died with it, which
+is exactly the kill semantics the paper describes).
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import threading
+from typing import Any
+
+from repro.core.errors import SoftMemoryDenied
+from repro.core.reclaim import ReclamationStats
+from repro.daemon.ipc import Channel
+from repro.daemon.registry import ProcessRecord
+from repro.daemon.smd import SmdConfig, SoftMemoryDaemon
+from repro.rpc.framing import FrameClosed, FrameStream
+
+DEMAND_TIMEOUT = 5.0
+
+
+class _RemoteBudget:
+    """Daemon-side mirror of a client's budget ledger."""
+
+    def __init__(self) -> None:
+        self.held = 0
+        self.granted = 0
+
+
+class _RemoteSma:
+    """Stands in for the client's SMA inside the daemon's registry."""
+
+    def __init__(self, connection: "_Connection") -> None:
+        self._connection = connection
+        self.budget = _RemoteBudget()
+        self._flexibility = 0
+        self._reclaimable = 0
+        #: a client with an in-flight request must not receive demands
+        self.busy = False
+
+    def update_state(self, frame: dict[str, Any]) -> None:
+        self.budget.held = int(frame.get("held", self.budget.held))
+        self.budget.granted = int(frame.get("granted", self.budget.granted))
+        self._flexibility = int(
+            frame.get("flexibility", self._flexibility)
+        )
+        self._reclaimable = int(
+            frame.get("reclaimable", self._reclaimable)
+        )
+
+    def flexibility(self) -> int:
+        return 0 if self.busy else self._flexibility
+
+    def reclaimable_pages(self) -> int:
+        return 0 if self.busy else self._reclaimable
+
+    def reclaim(self, demand_pages: int) -> ReclamationStats:
+        """One DEMAND/REPORT round trip (called inside an episode)."""
+        if self.busy:
+            # became busy after target selection: skip rather than
+            # demand from a client whose app thread is blocked on us
+            return ReclamationStats(demanded_pages=demand_pages)
+        report = self._connection.demand(demand_pages)
+        stats = ReclamationStats(demanded_pages=demand_pages)
+        if report is None:  # timeout or disconnect: nothing surrendered
+            return stats
+        stats.pages_from_budget = int(report.get("pages_from_budget", 0))
+        stats.pages_from_pool = int(report.get("pages_from_pool", 0))
+        stats.pages_from_sds = int(report.get("pages_from_sds", 0))
+        stats.allocations_freed = int(report.get("allocations_freed", 0))
+        stats.callbacks_invoked = int(report.get("callbacks_invoked", 0))
+        stats.callback_errors = int(report.get("callback_errors", 0))
+        self.update_state(report)
+        return stats
+
+
+class _Connection:
+    """One client process's socket, reader, and handler."""
+
+    def __init__(self, server: "RpcDaemonServer", sock: socket.socket) -> None:
+        self.server = server
+        self.stream = FrameStream(sock)
+        self.proxy = _RemoteSma(self)
+        self.record: ProcessRecord | None = None
+        self._send_lock = threading.Lock()
+        self._inbox: "queue.Queue[dict | None]" = queue.Queue()
+        self._demand_replies: dict[int, dict[str, Any]] = {}
+        self._demand_events: dict[int, threading.Event] = {}
+        self._demand_ids = iter(range(1, 2**31))
+        self._closed = threading.Event()
+        self.reader = threading.Thread(
+            target=self._reader_loop, daemon=True
+        )
+        self.handler = threading.Thread(
+            target=self._handler_loop, daemon=True
+        )
+        self.reader.start()
+        self.handler.start()
+
+    def send(self, frame: dict[str, Any]) -> None:
+        with self._send_lock:
+            self.stream.send(frame)
+
+    def demand(self, pages: int) -> dict[str, Any] | None:
+        """Send DEMAND, wait for REPORT (None on timeout/disconnect)."""
+        demand_id = next(self._demand_ids)
+        event = threading.Event()
+        self._demand_events[demand_id] = event
+        try:
+            self.send({"op": "demand", "id": demand_id, "pages": pages})
+        except OSError:
+            self._demand_events.pop(demand_id, None)
+            return None
+        if not event.wait(timeout=DEMAND_TIMEOUT):
+            self._demand_events.pop(demand_id, None)
+            return None
+        return self._demand_replies.pop(demand_id, None)
+
+    # -- threads -------------------------------------------------------
+
+    def _reader_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                frame = self.stream.recv()
+            except (FrameClosed, OSError, ValueError):
+                break
+            op = frame.get("op")
+            if op == "report":
+                demand_id = frame.get("id")
+                event = self._demand_events.pop(demand_id, None)
+                if event is not None:
+                    self._demand_replies[demand_id] = frame
+                    event.set()
+            else:
+                if op in ("request", "release"):
+                    # the client's app thread blocks (holding its SMA
+                    # lock) for both ops; make that visible to
+                    # concurrent episodes immediately so they never
+                    # demand from a blocked client
+                    self.proxy.busy = True
+                self._inbox.put(frame)
+        self._inbox.put(None)  # wake the handler for teardown
+
+    def _handler_loop(self) -> None:
+        while True:
+            frame = self._inbox.get()
+            if frame is None:
+                break
+            try:
+                self.server.handle_frame(self, frame)
+            except OSError:
+                break
+            finally:
+                if frame.get("op") in ("request", "release"):
+                    self.proxy.busy = False
+        self.server.disconnect(self)
+        self._closed.set()
+        self.stream.close()
+
+
+class RpcDaemonServer:
+    """The machine's soft memory daemon, served over a unix socket."""
+
+    def __init__(
+        self,
+        socket_path: str,
+        soft_capacity_pages: int,
+        config: SmdConfig | None = None,
+    ) -> None:
+        self.socket_path = socket_path
+        self.smd = SoftMemoryDaemon(soft_capacity_pages, config=config)
+        self._lock = threading.Lock()  # serializes daemon state changes
+        self._connections: list[_Connection] = []
+        self._stop = threading.Event()
+        if os.path.exists(socket_path):
+            os.unlink(socket_path)
+        self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._listener.bind(socket_path)
+        self._listener.listen(16)
+        self._listener.settimeout(0.2)
+        self._accept_thread: threading.Thread | None = None
+
+    def start(self) -> "RpcDaemonServer":
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="smd-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+        self._listener.close()
+        for connection in list(self._connections):
+            connection.stream.close()
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+
+    def __enter__(self) -> "RpcDaemonServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                sock, __ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            self._connections.append(_Connection(self, sock))
+
+    # ------------------------------------------------------------------
+    # frame handling (runs on per-connection handler threads)
+    # ------------------------------------------------------------------
+
+    def handle_frame(self, connection: _Connection, frame: dict) -> None:
+        op = frame.get("op")
+        connection.proxy.update_state(frame)
+        if op == "hello":
+            self._handle_hello(connection, frame)
+        elif op == "request":
+            self._handle_request(connection, frame)
+        elif op == "release":
+            self._handle_release(connection, frame)
+        else:
+            connection.send({"op": "error", "id": frame.get("id"),
+                             "message": f"unknown op {op!r}"})
+
+    def _handle_hello(self, connection: _Connection, frame: dict) -> None:
+        with self._lock:
+            record = ProcessRecord(
+                name=str(frame.get("name", "client")),
+                sma=connection.proxy,  # type: ignore[arg-type]
+                channel=Channel(),
+                traditional_pages=int(frame.get("traditional_pages", 0)),
+            )
+            self.smd.registry.add(record)
+            startup = min(
+                self.smd.config.startup_budget_pages,
+                self.smd.unassigned_pages,
+            )
+            record.granted_pages += startup
+        connection.record = record
+        connection.send({
+            "op": "welcome", "pid": record.pid, "startup_budget": startup,
+        })
+
+    def _handle_request(self, connection: _Connection, frame: dict) -> None:
+        record = connection.record
+        if record is None:
+            connection.send({"op": "error", "id": frame.get("id"),
+                             "message": "hello first"})
+            return
+        pages = int(frame["pages"])
+        try:
+            with self._lock:
+                granted = self.smd.handle_request(record.pid, pages)
+            connection.send({
+                "op": "grant", "id": frame["id"], "pages": granted,
+            })
+        except SoftMemoryDenied as exc:
+            connection.send({
+                "op": "deny", "id": frame["id"],
+                "reclaimed": exc.reclaimed,
+            })
+
+    def _handle_release(self, connection: _Connection, frame: dict) -> None:
+        record = connection.record
+        if record is None:
+            return
+        with self._lock:
+            self.smd.handle_release(record.pid, int(frame["pages"]))
+        connection.send({"op": "ok", "id": frame["id"]})
+
+    def disconnect(self, connection: _Connection) -> None:
+        """Client went away: its budget returns to the pool."""
+        if connection in self._connections:
+            self._connections.remove(connection)
+        record = connection.record
+        if record is not None:
+            with self._lock:
+                try:
+                    self.smd.deregister(record.pid)
+                except KeyError:
+                    pass
+            connection.record = None

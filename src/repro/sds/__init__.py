@@ -1,0 +1,45 @@
+"""Soft Data Structures (SDSs).
+
+Familiar container APIs that keep their element storage in soft memory
+and "handle details such as soft memory contexts and reclamation under
+the hood" (section 3.2). Every SDS implements the reclaim contract: when
+its context is drafted during a reclamation demand, it frees elements —
+by its own policy — until the demanded number of whole pages is free.
+
+Provided structures and their reclamation policies:
+
+* :class:`~repro.sds.soft_array.SoftArray` — one contiguous block; gives
+  up *everything* on demand (the paper's prototype policy).
+* :class:`~repro.sds.soft_linked_list.SoftLinkedList` — frees elements
+  oldest-to-newest (the paper's prototype policy).
+* :class:`~repro.sds.soft_hash_table.SoftHashTable` — chained table,
+  entries evicted oldest-first (the Redis integration shape).
+* :class:`~repro.sds.soft_queue.SoftQueue` — FIFO; sheds the oldest
+  queued items.
+* :class:`~repro.sds.soft_lru_cache.SoftLRUCache` — evicts least
+  recently used (the "infrequently-accessed" policy section 3.2
+  suggests an SDS engineer might choose).
+* :class:`~repro.sds.sache.Sache` — compute-through cache that
+  recomputes reclaimed entries transparently (the "Saches" of the
+  prioritized-GC work the paper cites).
+"""
+
+from repro.sds.base import SoftDataStructure
+from repro.sds.sache import Sache
+from repro.sds.soft_array import SoftArray
+from repro.sds.soft_buffer import SoftBuffer
+from repro.sds.soft_hash_table import SoftHashTable
+from repro.sds.soft_linked_list import SoftLinkedList
+from repro.sds.soft_lru_cache import SoftLRUCache
+from repro.sds.soft_queue import SoftQueue
+
+__all__ = [
+    "Sache",
+    "SoftArray",
+    "SoftBuffer",
+    "SoftDataStructure",
+    "SoftHashTable",
+    "SoftLinkedList",
+    "SoftLRUCache",
+    "SoftQueue",
+]

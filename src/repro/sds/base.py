@@ -1,0 +1,108 @@
+"""The SDS base class: binds a container to an SMA context.
+
+"SDSs are required to implement a reclaim method to handle reclamation
+demands from the SMA. Protocols for SDS reclamation are designed by data
+structure engineers." (section 3.2). Engineers subclass
+:class:`SoftDataStructure` and implement :meth:`evict_one`; the base
+class supplies the page-quota loop, pin-skipping, and the byte-count
+``reclaim(sz)`` entry point from Listing 1.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.context import ReclaimCallback, SdsContext
+from repro.core.pointer import SoftPtr
+from repro.core.sma import SoftMemoryAllocator
+
+
+class SoftDataStructure(ABC):
+    """A container whose element storage lives in soft memory."""
+
+    def __init__(
+        self,
+        sma: SoftMemoryAllocator,
+        name: str,
+        priority: int = 0,
+        callback: ReclaimCallback | None = None,
+    ) -> None:
+        self._sma = sma
+        self._context: SdsContext = sma.create_context(
+            name=name, priority=priority, callback=callback
+        )
+        self._context.reclaim_handler = self._reclaim_pages
+        #: elements evicted by reclamation (not by normal API calls)
+        self.evictions = 0
+
+    # -- identity ------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._context.name
+
+    @property
+    def priority(self) -> int:
+        return self._context.priority
+
+    @property
+    def context(self) -> SdsContext:
+        return self._context
+
+    @property
+    def soft_bytes(self) -> int:
+        """Live soft bytes held by this structure's elements."""
+        return self._context.heap.live_bytes
+
+    @property
+    def soft_pages(self) -> int:
+        return self._context.heap.page_count
+
+    # -- allocation plumbing for subclasses -----------------------------
+
+    def _alloc(self, size: int, payload: object) -> SoftPtr:
+        return self._sma.soft_malloc(size, self._context, payload)
+
+    def _free(self, ptr: SoftPtr) -> None:
+        self._sma.soft_free(ptr)
+
+    def _reclaim_ptr(self, ptr: SoftPtr) -> None:
+        """Free on the reclamation path (callback fires, groups cascade)."""
+        self._sma.reclaim_free(ptr)
+        self.evictions += 1
+
+    # -- the reclaim contract -------------------------------------------
+
+    @abstractmethod
+    def evict_one(self) -> bool:
+        """Evict one element by this structure's policy.
+
+        Must skip pinned allocations, unlink the element from internal
+        bookkeeping, and free its soft memory via :meth:`_reclaim_ptr`.
+        Return ``False`` when nothing (further) can be evicted.
+        """
+
+    def _reclaim_pages(self, quota_pages: int) -> int:
+        """SMA entry point: make ``quota_pages`` whole pages harvestable."""
+        heap = self._context.heap
+        while heap.free_page_count < quota_pages:
+            if not self.evict_one():
+                break
+        return heap.free_page_count
+
+    def reclaim(self, size_bytes: int) -> int:
+        """Listing 1's ``size_t reclaim(size_t sz)``: shed ``sz`` bytes.
+
+        Evicts elements until at least ``size_bytes`` of live element
+        bytes were given up; returns the bytes actually freed. Useful for
+        voluntary shrinking (the nightly cache scale-down use-case).
+        """
+        if size_bytes < 0:
+            raise ValueError(f"size must be non-negative: {size_bytes}")
+        before = self.soft_bytes
+        freed = 0
+        while freed < size_bytes:
+            if not self.evict_one():
+                break
+            freed = before - self.soft_bytes
+        return freed

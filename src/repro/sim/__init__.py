@@ -1,0 +1,35 @@
+"""Discrete-event machine simulation.
+
+Ties the memory substrate, the SMA/SMD stack, and a simulated clock into
+one machine so experiments can produce *timelines* — Figure 2 of the
+paper is a timeline of two processes' memory footprints around a
+reclamation event. Costs (callback cleanup, IPC, restarts) come from a
+calibrated :class:`~repro.sim.costs.CostModel` rather than wall-clock,
+because the Python substrate's absolute speed is meaningless; the
+*shape* of the timeline is what the paper's figure shows.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.process import SimProcess
+from repro.sim.scenarios import Figure2Params, Figure2Result, run_figure2
+from repro.sim.workload import (
+    DiurnalLoad,
+    allocation_sizes,
+    zipf_key_sampler,
+)
+
+__all__ = [
+    "CostModel",
+    "DiurnalLoad",
+    "Figure2Params",
+    "Figure2Result",
+    "run_figure2",
+    "Machine",
+    "MachineConfig",
+    "SimClock",
+    "SimProcess",
+    "allocation_sizes",
+    "zipf_key_sampler",
+]

@@ -1,0 +1,34 @@
+"""Simulated clock: monotone simulated seconds."""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A clock that only moves when told to.
+
+    All simulation components share one instance; costs are charged by
+    :meth:`advance`, and timelines read :attr:`now`.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds``; returns the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by negative time: {seconds}")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, deadline: float) -> float:
+        """Move time forward to ``deadline`` (no-op if already past)."""
+        if deadline > self._now:
+            self._now = deadline
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"<SimClock t={self._now:.6f}s>"

@@ -1,0 +1,101 @@
+"""Canonical experiment scenarios, shared by benches and examples.
+
+Keeping the paper's headline setups in one place means the Figure 2
+bench, the example script, and any future analysis all run *the same*
+scenario — there is exactly one definition of "the paper's section 5
+experiment" in the codebase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kvstore.store import DataStore, StoreConfig
+from repro.sds.soft_linked_list import SoftLinkedList
+from repro.sim.machine import Machine, MachineConfig
+from repro.util.units import MIB
+
+
+@dataclass(frozen=True)
+class Figure2Params:
+    """The section 5 setup, with the paper's numbers as defaults."""
+
+    keys: int = 130_000
+    soft_capacity_bytes: int = 20 * MIB
+    competitor_bytes: int = 12 * MIB
+    pressure_at: float = 10.13
+    redis_traditional_pages: int = 512
+    other_traditional_pages: int = 128
+
+
+@dataclass
+class Figure2Result:
+    """Everything the figure (and its assertions) needs."""
+
+    machine: Machine
+    store: DataStore
+    redis_process: object
+    other_process: object
+    redis_gave_up_bytes: int
+    pressure_at: float
+    reclaim_done_at: float
+    callbacks_invoked: int
+
+    @property
+    def reclaim_seconds(self) -> float:
+        return self.reclaim_done_at - self.pressure_at
+
+
+def run_figure2(params: Figure2Params | None = None) -> Figure2Result:
+    """Run the paper's Figure 2 scenario end to end.
+
+    A Redis-like store fills ~10 MiB of soft memory with ``keys``
+    pairs; at ``pressure_at`` simulated seconds a competitor allocates
+    ``competitor_bytes``, forcing the daemon to reclaim from the store.
+    Footprints are sampled before, at, and after the event.
+    """
+    p = params or Figure2Params()
+    machine = Machine(MachineConfig(
+        soft_capacity_bytes=p.soft_capacity_bytes
+    ))
+    redis = machine.spawn(
+        "redis", traditional_pages=p.redis_traditional_pages
+    )
+    other = machine.spawn(
+        "other", traditional_pages=p.other_traditional_pages
+    )
+    store = DataStore(
+        redis.sma, StoreConfig(time_fn=lambda: machine.clock.now)
+    )
+    for i in range(p.keys):
+        store.set(f"key:{i:07d}".encode(), f"val:{i:07d}".encode())
+    machine.sample_footprints()
+    redis_before = redis.soft_bytes
+
+    machine.clock.advance_to(p.pressure_at)
+    machine.sample_footprints()
+
+    competitor = SoftLinkedList(other.sma, element_size=4096)
+    count = p.competitor_bytes // 4096
+    for i in range(count):
+        competitor.append(i)
+    machine.clock.advance(
+        machine.costs.allocation_time(count, pages_mapped=count)
+    )
+    machine.sample_footprints()
+
+    start = machine.log.first("reclaim.start")
+    done = machine.log.last("reclaim.done")
+    demand_done = machine.log.last("demand.done")
+    return Figure2Result(
+        machine=machine,
+        store=store,
+        redis_process=redis,
+        other_process=other,
+        redis_gave_up_bytes=redis_before - redis.soft_bytes,
+        pressure_at=start.time if start else float("nan"),
+        reclaim_done_at=done.time if done else float("nan"),
+        callbacks_invoked=(
+            demand_done.detail["callbacks"] if demand_done else 0
+        ),
+    )

@@ -1,0 +1,128 @@
+"""Workload generators for the experiments.
+
+Deterministic (seeded) generators for: allocation-size traces (the
+section 5 stress tests and the heap-policy ablation), Zipfian key
+popularity (cache experiments), and the diurnal load curve behind the
+section 2 "nocturnal lull" use-case.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.util.units import KIB
+
+
+def allocation_sizes(
+    count: int,
+    *,
+    size: int = KIB,
+    jitter: float = 0.0,
+    seed: int = 0,
+) -> list[int]:
+    """``count`` allocation sizes around ``size``.
+
+    ``jitter`` = 0 reproduces the paper's fixed 1 KiB stress workload;
+    jitter > 0 draws uniformly from ``size * [1-jitter, 1+jitter]``
+    (server workloads are mostly-small with variance [Larson/Krishnan]).
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative: {count}")
+    if not 0.0 <= jitter < 1.0:
+        raise ValueError(f"jitter must be in [0, 1): {jitter}")
+    if jitter == 0.0:
+        return [size] * count
+    rng = random.Random(seed)
+    low, high = int(size * (1 - jitter)), int(size * (1 + jitter))
+    return [rng.randint(max(1, low), high) for _ in range(count)]
+
+
+def mixed_sizes(
+    count: int,
+    *,
+    small: int = 64,
+    large: int = 8 * KIB,
+    large_fraction: float = 0.05,
+    seed: int = 0,
+) -> list[int]:
+    """Bimodal small/large mix (most allocations are small [13])."""
+    rng = random.Random(seed)
+    return [
+        large if rng.random() < large_fraction else small
+        for _ in range(count)
+    ]
+
+
+def zipf_key_sampler(
+    key_count: int, *, s: float = 0.99, seed: int = 0
+) -> Callable[[], int]:
+    """Sampler over ``range(key_count)`` with Zipf(s) popularity.
+
+    Standard cache-workload skew (YCSB uses s=0.99). Returns a callable
+    producing one key index per call.
+    """
+    if key_count <= 0:
+        raise ValueError(f"key_count must be positive: {key_count}")
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** s for rank in range(key_count)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+
+    def sample() -> int:
+        u = rng.random()
+        lo, hi = 0, key_count - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    return sample
+
+
+@dataclass(frozen=True)
+class DiurnalLoad:
+    """Sinusoidal day/night request-rate curve.
+
+    ``rate(t)`` peaks at ``peak_rps`` mid-day and bottoms out at
+    ``trough_rps`` mid-night; ``period`` is a full day in simulated
+    seconds. Section 2: "low nocturnal user interaction with web
+    services leads to reduced utilization".
+    """
+
+    peak_rps: float = 1000.0
+    trough_rps: float = 100.0
+    period: float = 86400.0
+    #: phase shift: t=0 is midnight by default
+    phase: float = 0.0
+
+    def rate(self, t: float) -> float:
+        mid = (self.peak_rps + self.trough_rps) / 2
+        amplitude = (self.peak_rps - self.trough_rps) / 2
+        # cosine with minimum at t=0 (midnight)
+        return mid - amplitude * math.cos(
+            2 * math.pi * ((t - self.phase) % self.period) / self.period
+        )
+
+    def is_trough(self, t: float, threshold: float = 0.5) -> bool:
+        """True when load is below ``threshold`` of the way to peak."""
+        span = self.peak_rps - self.trough_rps
+        return self.rate(t) < self.trough_rps + threshold * span
+
+    def ticks(
+        self, duration: float, step: float
+    ) -> Iterator[tuple[float, float]]:
+        """(time, rate) pairs every ``step`` seconds for ``duration``."""
+        t = 0.0
+        while t < duration:
+            yield t, self.rate(t)
+            t += step

@@ -1,0 +1,16 @@
+"""Operator tooling: human-readable state reports.
+
+``smadump``-style introspection for debugging and for the examples:
+render an SMA's heaps and ledgers, a daemon's per-process table, or a
+whole simulated machine as aligned text.
+"""
+
+from repro.tools.report import machine_report, sma_report, smd_report
+from repro.tools.timeline import render_timeline
+
+__all__ = [
+    "machine_report",
+    "render_timeline",
+    "sma_report",
+    "smd_report",
+]

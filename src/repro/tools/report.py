@@ -1,0 +1,88 @@
+"""Text reports over the soft memory stack's live state.
+
+Pure functions from objects to strings — no printing, so tests can
+assert on content and callers decide where output goes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.util.units import PAGE_SIZE, format_bytes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.sma import SoftMemoryAllocator
+    from repro.daemon.smd import SoftMemoryDaemon
+    from repro.sim.machine import Machine
+
+
+def sma_report(sma: "SoftMemoryAllocator") -> str:
+    """One process's soft memory state: ledgers, pool, per-SDS heaps."""
+    lines = [
+        f"SMA {sma.name!r}",
+        f"  budget   : {sma.budget.held}/{sma.budget.granted} pages held "
+        f"({format_bytes(sma.soft_bytes)}), headroom {sma.budget.headroom}",
+        f"  free pool: {sma.pool.page_count} pages",
+        f"  live     : {sma.live_allocations} allocations, "
+        f"{format_bytes(sma.live_bytes)}",
+        f"  lifetime : {sma.stats.allocations} allocs, "
+        f"{sma.stats.frees} frees, {sma.stats.reclamations} reclamations, "
+        f"{sma.stats.daemon_requests} daemon requests",
+    ]
+    if sma.contexts:
+        lines.append(
+            f"  {'context':<20} {'prio':>4} {'pages':>6} {'allocs':>7} "
+            f"{'bytes':>10} {'frag':>6} {'evicted':>8}"
+        )
+        for ctx in sorted(sma.contexts, key=lambda c: c.priority):
+            lines.append(
+                f"  {ctx.name:<20} {ctx.priority:>4} "
+                f"{ctx.heap.page_count:>6} "
+                f"{ctx.heap.live_allocations:>7} "
+                f"{format_bytes(ctx.heap.live_bytes):>10} "
+                f"{ctx.heap.fragmentation():>6.2f} "
+                f"{ctx.allocations_reclaimed:>8}"
+            )
+    return "\n".join(lines)
+
+
+def smd_report(smd: "SoftMemoryDaemon") -> str:
+    """The machine-wide daemon view: capacity and per-process ledgers."""
+    lines = [
+        "Soft Memory Daemon",
+        f"  capacity : {smd.capacity_pages} pages "
+        f"({format_bytes(smd.capacity_pages * PAGE_SIZE)})",
+        f"  assigned : {smd.assigned_pages} pages "
+        f"(pressure {smd.pressure:.0%})",
+        f"  activity : {smd.requests} requests, {smd.denials} denials, "
+        f"{smd.reclamation_episodes} episodes, "
+        f"{smd.demands_issued} demands",
+    ]
+    if len(smd.registry):
+        lines.append(
+            f"  {'pid':>4} {'process':<16} {'granted':>8} {'held':>6} "
+            f"{'trad':>6} {'flex':>6} {'reclaimed-from':>14}"
+        )
+        for rec in smd.registry:
+            lines.append(
+                f"  {rec.pid:>4} {rec.name:<16} {rec.granted_pages:>8} "
+                f"{rec.soft_pages:>6} {rec.traditional_pages:>6} "
+                f"{rec.flexibility:>6} {rec.pages_reclaimed_from:>14}"
+            )
+    return "\n".join(lines)
+
+
+def machine_report(machine: "Machine") -> str:
+    """A full simulated machine: clock, frames, daemon, processes."""
+    physical = machine.physical
+    lines = [
+        f"Machine @ t={machine.clock.now:.3f}s",
+        f"  frames  : {physical.used_frames}/{physical.total_frames} used "
+        f"({physical.utilization:.0%}), peak {physical.peak_frames}",
+        "",
+        smd_report(machine.smd),
+    ]
+    for process in machine.alive_processes:
+        lines.append("")
+        lines.append(sma_report(process.sma))
+    return "\n".join(lines)

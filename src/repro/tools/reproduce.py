@@ -1,0 +1,71 @@
+"""One-command reproduction driver.
+
+Runs the full reproduction pipeline — test suite, every benchmark
+(printing the paper-vs-measured tables), and the example scripts —
+and prints a final scoreboard.
+
+Usage::
+
+    python -m repro.tools.reproduce            # everything
+    python -m repro.tools.reproduce --quick    # tests + benches only
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import subprocess
+import sys
+import time
+
+
+def _run(label: str, argv: list[str]) -> tuple[str, bool, float]:
+    print(f"\n{'=' * 72}\n== {label}\n{'=' * 72}", flush=True)
+    start = time.monotonic()
+    result = subprocess.run(argv)
+    elapsed = time.monotonic() - start
+    return label, result.returncode == 0, elapsed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="skip the example scripts",
+    )
+    args = parser.parse_args(argv)
+
+    root = pathlib.Path(__file__).resolve().parents[3]
+    steps = [
+        ("test suite", [sys.executable, "-m", "pytest", "tests/", "-q"]),
+        ("benchmarks (paper tables)", [
+            sys.executable, "-m", "pytest", "benchmarks/",
+            "--benchmark-only", "-q", "-s",
+        ]),
+    ]
+    if not args.quick:
+        for example in sorted((root / "examples").glob("*.py")):
+            steps.append(
+                (f"example: {example.name}",
+                 [sys.executable, str(example)])
+            )
+
+    results = [_run(label, argv) for label, argv in steps]
+
+    print(f"\n{'=' * 72}\n== reproduction scoreboard\n{'=' * 72}")
+    failed = 0
+    for label, ok, elapsed in results:
+        status = "PASS" if ok else "FAIL"
+        if not ok:
+            failed += 1
+        print(f"  {status}  {elapsed:7.1f}s  {label}")
+    print(f"{'=' * 72}")
+    if failed:
+        print(f"{failed} step(s) failed")
+        return 1
+    print("every reproduction step passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

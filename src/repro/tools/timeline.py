@@ -1,0 +1,49 @@
+"""Render footprint timelines as text (Figure 2 in a terminal).
+
+Takes the ``footprint`` samples a :class:`~repro.sim.machine.Machine`
+records and produces an aligned textual chart: one column per process,
+one row per sample, with a proportional bar so the step-down/step-up
+shape of a reclamation is visible at a glance.
+"""
+
+from __future__ import annotations
+
+from repro.util.eventlog import EventLog
+from repro.util.units import MIB
+
+BAR_WIDTH = 24
+
+
+def render_timeline(
+    log: EventLog,
+    names: list[str],
+    *,
+    kind: str = "footprint",
+) -> str:
+    """Text chart of each named series over time.
+
+    Only events of ``kind`` contribute; a process missing from a sample
+    renders as zero (it had exited or not yet spawned).
+    """
+    samples = log.of_kind(kind)
+    if not samples:
+        return "(no samples)"
+    peak = max(
+        (event.detail.get(name, 0) for event in samples for name in names),
+        default=0,
+    )
+    peak = max(peak, 1)
+    lines = []
+    header = f"{'t (s)':>9}"
+    for name in names:
+        header += f"  {name:<{BAR_WIDTH}} {'MiB':>7}"
+    lines.append(header)
+    for event in samples:
+        row = f"{event.time:>9.2f}"
+        for name in names:
+            value = event.detail.get(name, 0)
+            filled = round(BAR_WIDTH * value / peak)
+            bar = "#" * filled + "." * (BAR_WIDTH - filled)
+            row += f"  {bar} {value / MIB:>7.2f}"
+        lines.append(row)
+    return "\n".join(lines)

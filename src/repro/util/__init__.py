@@ -1,0 +1,37 @@
+"""Shared utilities: size units, statistics helpers, and event logging.
+
+These are deliberately dependency-free so every other subpackage can use
+them without import cycles.
+"""
+
+from repro.util.units import (
+    KIB,
+    MIB,
+    GIB,
+    PAGE_SIZE,
+    bytes_to_pages,
+    format_bytes,
+    pages_to_bytes,
+    parse_size,
+)
+from repro.util.stats import Summary, percentile, summarize
+from repro.util.eventlog import Event, EventLog
+from repro.util.tracefile import dump_events, load_events
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "PAGE_SIZE",
+    "bytes_to_pages",
+    "pages_to_bytes",
+    "format_bytes",
+    "parse_size",
+    "Summary",
+    "percentile",
+    "summarize",
+    "Event",
+    "EventLog",
+    "dump_events",
+    "load_events",
+]

@@ -1,0 +1,50 @@
+"""Event-log persistence: save and reload experiment traces.
+
+Timelines (Figure 2 and friends) are built from
+:class:`~repro.util.eventlog.EventLog` records. This module serializes
+a log to JSON-lines so an experiment run can be archived, diffed
+between versions, or re-analyzed without re-running the simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.util.eventlog import Event, EventLog
+
+
+def dump_events(log: Iterable[Event], path: str | Path) -> int:
+    """Write events as JSON lines; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in log:
+            fh.write(json.dumps(
+                {"t": event.time, "kind": event.kind, **event.detail},
+                separators=(",", ":"),
+                default=str,  # process lists, enums, etc.
+            ))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def load_events(path: str | Path) -> EventLog:
+    """Rebuild an :class:`EventLog` from a JSON-lines trace file."""
+    log = EventLog()
+    with open(path, encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                time = record.pop("t")
+                kind = record.pop("kind")
+            except (json.JSONDecodeError, KeyError) as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: malformed trace line"
+                ) from exc
+            log.record(float(time), str(kind), **record)
+    return log

@@ -1,0 +1,102 @@
+"""Byte-size units and page arithmetic.
+
+The paper manages memory at 4 KiB page granularity (a SoftLinkedList with
+2 KiB elements fits two elements per page, and the 12 KiB reclamation
+demand in section 3.1 is "roughly three pages"). Everything downstream
+uses :data:`PAGE_SIZE` from here so the page size is a single knob.
+"""
+
+from __future__ import annotations
+
+import re
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Size of one simulated OS page in bytes (matches x86-64 base pages).
+PAGE_SIZE = 4 * KIB
+
+_SIZE_RE = re.compile(
+    r"^\s*(?P<num>\d+(?:\.\d+)?)\s*(?P<unit>[kmg]?i?b?|pages?)?\s*$",
+    re.IGNORECASE,
+)
+
+_UNIT_FACTORS = {
+    "": 1,
+    "b": 1,
+    "k": KIB,
+    "kb": KIB,
+    "kib": KIB,
+    "m": MIB,
+    "mb": MIB,
+    "mib": MIB,
+    "g": GIB,
+    "gb": GIB,
+    "gib": GIB,
+    "page": PAGE_SIZE,
+    "pages": PAGE_SIZE,
+}
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a human size string ("10 MiB", "4k", "3 pages") into bytes.
+
+    Integers pass through unchanged, so callers can accept either form.
+
+    >>> parse_size("2 KiB")
+    2048
+    >>> parse_size("3 pages")
+    12288
+    >>> parse_size(512)
+    512
+    """
+    if isinstance(text, int):
+        if text < 0:
+            raise ValueError(f"size must be non-negative, got {text}")
+        return text
+    match = _SIZE_RE.match(text)
+    if match is None:
+        raise ValueError(f"unparseable size: {text!r}")
+    number = float(match.group("num"))
+    unit = (match.group("unit") or "").lower()
+    try:
+        factor = _UNIT_FACTORS[unit]
+    except KeyError:
+        raise ValueError(f"unknown size unit in {text!r}") from None
+    result = number * factor
+    if result != int(result):
+        raise ValueError(f"size {text!r} is not a whole number of bytes")
+    return int(result)
+
+
+def bytes_to_pages(size: int) -> int:
+    """Number of whole pages needed to hold ``size`` bytes (round up)."""
+    if size < 0:
+        raise ValueError(f"size must be non-negative, got {size}")
+    return -(-size // PAGE_SIZE)
+
+
+def pages_to_bytes(pages: int) -> int:
+    """Total bytes spanned by ``pages`` whole pages."""
+    if pages < 0:
+        raise ValueError(f"page count must be non-negative, got {pages}")
+    return pages * PAGE_SIZE
+
+
+def format_bytes(size: int) -> str:
+    """Render a byte count the way the paper does (KiB / MiB / GiB).
+
+    >>> format_bytes(10 * MIB)
+    '10.0 MiB'
+    >>> format_bytes(512)
+    '512 B'
+    """
+    if size < 0:
+        return "-" + format_bytes(-size)
+    if size < KIB:
+        return f"{size} B"
+    for factor, name in ((GIB, "GiB"), (MIB, "MiB"), (KIB, "KiB")):
+        if size >= factor:
+            return f"{size / factor:.1f} {name}"
+    raise AssertionError("unreachable")

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sma import SoftMemoryAllocator
+from repro.daemon.smd import SmdConfig, SoftMemoryDaemon
+from repro.mem.physical import PhysicalMemory
+from repro.sim.machine import Machine, MachineConfig
+from repro.util.units import MIB, PAGE_SIZE
+
+
+@pytest.fixture
+def sma() -> SoftMemoryAllocator:
+    """Standalone SMA with an unlimited budget (no daemon, no machine)."""
+    return SoftMemoryAllocator(name="test-proc")
+
+
+@pytest.fixture
+def physical() -> PhysicalMemory:
+    """A 64 MiB machine frame pool."""
+    return PhysicalMemory(64 * MIB)
+
+
+@pytest.fixture
+def smd() -> SoftMemoryDaemon:
+    """A daemon arbitrating 20 MiB of soft capacity (the paper's Figure 2
+    machine)."""
+    return SoftMemoryDaemon(soft_capacity_pages=(20 * MIB) // PAGE_SIZE)
+
+
+@pytest.fixture
+def machine() -> Machine:
+    """A full simulated machine (64 MiB RAM / 20 MiB soft)."""
+    return Machine(MachineConfig())

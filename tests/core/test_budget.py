@@ -1,0 +1,88 @@
+"""Tests for the soft budget ledger."""
+
+import pytest
+
+from repro.core.budget import BudgetLedger
+from repro.core.errors import ProtocolError
+
+
+class TestBudgetLedger:
+    def test_initial_state(self):
+        ledger = BudgetLedger(10)
+        assert ledger.granted == 10
+        assert ledger.held == 0
+        assert ledger.headroom == 10
+
+    def test_negative_initial_rejected(self):
+        with pytest.raises(ValueError):
+            BudgetLedger(-1)
+
+    def test_grant_increases_headroom(self):
+        ledger = BudgetLedger()
+        ledger.grant(5)
+        assert ledger.granted == 5
+        assert ledger.headroom == 5
+
+    def test_acquire_consumes_headroom(self):
+        ledger = BudgetLedger(5)
+        ledger.acquire(3)
+        assert ledger.held == 3
+        assert ledger.headroom == 2
+
+    def test_acquire_beyond_grant_is_protocol_error(self):
+        ledger = BudgetLedger(2)
+        with pytest.raises(ProtocolError):
+            ledger.acquire(3)
+
+    def test_release_frees_headroom(self):
+        ledger = BudgetLedger(5)
+        ledger.acquire(5)
+        ledger.release(2)
+        assert ledger.held == 3
+        assert ledger.headroom == 2
+
+    def test_release_more_than_held_rejected(self):
+        ledger = BudgetLedger(5)
+        ledger.acquire(1)
+        with pytest.raises(ProtocolError):
+            ledger.release(2)
+
+    def test_revoke_shrinks_grant(self):
+        ledger = BudgetLedger(5)
+        ledger.revoke(2)
+        assert ledger.granted == 3
+
+    def test_revoke_below_held_rejected(self):
+        # The daemon can only revoke budget the process is not using.
+        ledger = BudgetLedger(5)
+        ledger.acquire(4)
+        with pytest.raises(ProtocolError):
+            ledger.revoke(2)
+
+    def test_unused_is_headroom_alias(self):
+        ledger = BudgetLedger(5)
+        ledger.acquire(2)
+        assert ledger.unused == ledger.headroom == 3
+
+    def test_lifetime_counters(self):
+        ledger = BudgetLedger(5)
+        ledger.grant(3)
+        ledger.revoke(2)
+        assert ledger.total_granted == 8
+        assert ledger.total_revoked == 2
+
+    def test_reclaim_cycle(self):
+        # grant -> acquire -> (release + revoke) models one reclaimed page
+        ledger = BudgetLedger()
+        ledger.grant(4)
+        ledger.acquire(4)
+        ledger.release(1)
+        ledger.revoke(1)
+        assert ledger.granted == 3
+        assert ledger.held == 3
+
+    @pytest.mark.parametrize("method", ["grant", "revoke", "acquire", "release"])
+    def test_negative_amounts_rejected(self, method):
+        ledger = BudgetLedger(10)
+        with pytest.raises(ValueError):
+            getattr(ledger, method)(-1)

@@ -1,0 +1,80 @@
+"""Tests for reclamation-callback failure containment.
+
+A victim process's buggy callback must not abort reclamation: the
+daemon — and through it some *other* process's allocation — is waiting
+on the pages.
+"""
+
+import pytest
+
+from repro.core.sma import SoftMemoryAllocator
+from repro.daemon.smd import SoftMemoryDaemon
+from repro.sds.soft_linked_list import SoftLinkedList
+from repro.util.units import PAGE_SIZE
+
+
+def exploding(payload):
+    raise RuntimeError(f"callback bug on {payload!r}")
+
+
+class TestCallbackContainment:
+    def test_reclamation_completes_despite_errors(self):
+        sma = SoftMemoryAllocator(name="t", request_batch_pages=1)
+        lst = SoftLinkedList(sma, element_size=2048, callback=exploding)
+        for i in range(10):
+            lst.append(i)
+        stats = sma.reclaim(2)
+        assert stats.pages_reclaimed == 2
+        assert stats.allocations_freed == 4
+        assert stats.callback_errors == 4
+        assert len(lst) == 6
+        sma.check_invariants()
+
+    def test_partial_failures_counted(self):
+        def sometimes(payload):
+            if payload % 2:
+                raise ValueError("odd payloads explode")
+
+        sma = SoftMemoryAllocator(name="t", request_batch_pages=1)
+        lst = SoftLinkedList(sma, element_size=2048, callback=sometimes)
+        for i in range(8):
+            lst.append(i)
+        stats = sma.reclaim(2)
+        assert stats.callbacks_invoked == 4
+        assert stats.callback_errors == 2  # payloads 1 and 3
+
+    def test_context_error_counter(self):
+        sma = SoftMemoryAllocator(name="t", request_batch_pages=1)
+        lst = SoftLinkedList(sma, element_size=2048, callback=exploding)
+        lst.append(0)
+        lst.append(1)
+        sma.reclaim(1)
+        assert lst.context.callback_errors == 2
+
+    def test_requester_unaffected_by_victim_bug(self):
+        """End to end: the victim's callback raises; the requesting
+        process still gets its memory and sees no exception."""
+        smd = SoftMemoryDaemon(soft_capacity_pages=10)
+        victim = SoftMemoryAllocator(name="victim", request_batch_pages=1)
+        smd.register(victim, traditional_pages=100)
+        cache = SoftLinkedList(
+            victim, element_size=PAGE_SIZE, callback=exploding
+        )
+        for i in range(10):
+            cache.append(i)
+
+        requester = SoftMemoryAllocator(name="req", request_batch_pages=1)
+        smd.register(requester)
+        scratch = SoftLinkedList(requester, element_size=PAGE_SIZE)
+        scratch.append("needed")  # must not raise RuntimeError
+        assert len(scratch) == 1
+        assert smd.denials == 0
+
+    def test_normal_free_does_not_swallow_callback(self):
+        """Containment applies to the reclamation callback only; other
+        exceptions still propagate normally elsewhere."""
+        sma = SoftMemoryAllocator(name="t")
+        ctx = sma.create_context("c", callback=exploding)
+        ptr = sma.soft_malloc(8, ctx)
+        sma.soft_free(ptr)  # normal free: callback not involved at all
+        assert ctx.callback_errors == 0

@@ -1,0 +1,114 @@
+"""Tests for per-SDS heaps."""
+
+import pytest
+
+from repro.core.heap import SdsHeap
+from repro.core.sma import SoftMemoryAllocator
+from repro.mem.page import Page
+from repro.util.units import PAGE_SIZE
+
+
+@pytest.fixture
+def ctx():
+    return SoftMemoryAllocator(name="heap-test").create_context("c")
+
+
+def heap_with(pages: int) -> SdsHeap:
+    heap = SdsHeap(name="h")
+    heap.add_pages([Page() for _ in range(pages)])
+    return heap
+
+
+class TestAllocateFree:
+    def test_allocate_without_pages_returns_none(self, ctx):
+        heap = SdsHeap()
+        assert heap.allocate(10, ctx, None) is None
+        assert heap.pages_needed(10) == 1
+
+    def test_allocate_places_and_indexes(self, ctx):
+        heap = heap_with(1)
+        alloc = heap.allocate(100, ctx, "payload")
+        assert alloc is not None
+        assert alloc.payload == "payload"
+        assert heap.live_allocations == 1
+        assert heap.live_bytes == 100
+
+    def test_free_invalidates(self, ctx):
+        heap = heap_with(1)
+        alloc = heap.allocate(100, ctx, None)
+        heap.free(alloc)
+        assert not alloc.valid
+        assert heap.live_allocations == 0
+
+    def test_double_free_rejected(self, ctx):
+        heap = heap_with(1)
+        alloc = heap.allocate(100, ctx, None)
+        heap.free(alloc)
+        with pytest.raises(ValueError):
+            heap.free(alloc)
+
+
+class TestAgeOrder:
+    def test_oldest_first_iteration(self, ctx):
+        heap = heap_with(2)
+        allocs = [heap.allocate(10, ctx, i) for i in range(5)]
+        assert [a.payload for a in heap.iter_oldest_first()] == [0, 1, 2, 3, 4]
+        assert [a.payload for a in heap.iter_newest_first()] == [4, 3, 2, 1, 0]
+        for a in allocs:
+            heap.free(a)
+
+    def test_order_survives_interior_free(self, ctx):
+        heap = heap_with(2)
+        allocs = [heap.allocate(10, ctx, i) for i in range(5)]
+        heap.free(allocs[2])
+        assert [a.payload for a in heap.iter_oldest_first()] == [0, 1, 3, 4]
+
+    def test_safe_to_free_while_iterating(self, ctx):
+        heap = heap_with(2)
+        for i in range(5):
+            heap.allocate(10, ctx, i)
+        for alloc in heap.iter_oldest_first():
+            heap.free(alloc)
+        assert heap.live_allocations == 0
+
+
+class TestHarvest:
+    def test_harvest_only_free_pages(self, ctx):
+        heap = heap_with(3)
+        heap.allocate(10, ctx, None)
+        harvested = heap.harvest_free_pages()
+        assert len(harvested) == 2
+        assert heap.page_count == 1
+
+    def test_slack_threshold(self, ctx):
+        heap = heap_with(SdsHeap.FREE_PAGE_SLACK)
+        assert heap.should_release_slack()
+        heap.harvest_free_pages()
+        assert not heap.should_release_slack()
+
+    def test_paper_example_two_kib_elements(self, ctx):
+        """Section 3.1: freeing six 2 KiB elements (oldest-first) frees
+        three whole pages."""
+        heap = heap_with(0)
+        allocs = []
+        for i in range(100):
+            if heap.pages_needed(2048):
+                heap.add_pages([Page()])
+            allocs.append(heap.allocate(2048, ctx, i))
+        assert heap.page_count == 50
+        for alloc in allocs[:6]:
+            heap.free(alloc)
+        assert heap.free_page_count == 3
+        assert len(heap.harvest_free_pages()) == 3
+
+    def test_invariants(self, ctx):
+        heap = heap_with(2)
+        a = heap.allocate(100, ctx, None)
+        heap.check_invariants()
+        heap.free(a)
+        heap.check_invariants()
+
+    def test_fragmentation_delegates(self, ctx):
+        heap = heap_with(1)
+        heap.allocate(8, ctx, None)
+        assert heap.fragmentation() == 1.0

@@ -1,0 +1,144 @@
+"""Tests for thread-safe soft memory (section 7 concurrency)."""
+
+import threading
+
+import pytest
+
+from repro.core.locking import LockedSoftMemoryAllocator, pinned_read
+from repro.core.errors import ReclaimedMemoryError
+from repro.core.pointer import DerefScope
+from repro.sds.soft_linked_list import SoftLinkedList
+from repro.util.units import KIB
+
+
+@pytest.fixture
+def sma():
+    return LockedSoftMemoryAllocator(name="locked", request_batch_pages=4)
+
+
+class TestSingleThreaded:
+    """The locked SMA must behave identically to the plain one."""
+
+    def test_basic_roundtrip(self, sma):
+        ctx = sma.create_context("c")
+        ptr = sma.soft_malloc(KIB, ctx, payload=1)
+        assert ptr.deref() == 1
+        sma.soft_free(ptr)
+        sma.check_invariants()
+
+    def test_reclaim_reentrancy(self, sma):
+        """Reclamation re-enters through the SDS handler; the RLock
+        must allow it."""
+        lst = SoftLinkedList(sma, element_size=2048)
+        for i in range(10):
+            lst.append(i)
+        stats = sma.reclaim(2)
+        assert stats.pages_reclaimed == 2
+
+    def test_pinned_read(self, sma):
+        ctx = sma.create_context("c")
+        ptr = sma.soft_malloc(8, ctx, payload="v")
+        assert pinned_read(ptr) == "v"
+        sma.soft_free(ptr)
+        with pytest.raises(ReclaimedMemoryError):
+            pinned_read(ptr)
+
+
+class TestConcurrent:
+    def test_parallel_allocation_free(self, sma):
+        """Many threads allocating and freeing concurrently must leave
+        consistent ledgers."""
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def worker(tid):
+            try:
+                barrier.wait()
+                ctx = sma.create_context(f"w{tid}")
+                ptrs = []
+                for i in range(300):
+                    ptrs.append(sma.soft_malloc(256, ctx, (tid, i)))
+                    if len(ptrs) > 10:
+                        sma.soft_free(ptrs.pop(0))
+                for ptr in ptrs:
+                    sma.soft_free(ptr)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        sma.check_invariants()
+        assert sma.live_allocations == 0
+
+    def test_reclaim_races_allocation(self, sma):
+        """A reclaiming thread and an allocating thread interleave
+        safely; every surviving pointer still dereferences correctly."""
+        lst = SoftLinkedList(sma, element_size=KIB)
+        stop = threading.Event()
+        errors = []
+
+        def reclaimer():
+            try:
+                while not stop.is_set():
+                    sma.reclaim(2)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        thread = threading.Thread(target=reclaimer)
+        thread.start()
+        try:
+            for i in range(2000):
+                lst.append(i)
+        finally:
+            stop.set()
+            thread.join()
+        assert errors == []
+        sma.check_invariants()
+        survivors = list(lst)
+        assert survivors == sorted(survivors)  # order survived the races
+
+    def test_pins_hold_against_concurrent_reclaim(self, sma):
+        """A value held in a DerefScope is never reclaimed from under
+        the reading thread."""
+        lst = SoftLinkedList(sma, element_size=KIB)
+        protected = lst.append("precious")
+        for i in range(50):
+            lst.append(i)
+        observed = []
+        errors = []
+        pinned = threading.Event()
+        done_reading = threading.Event()
+
+        def reader():
+            try:
+                with DerefScope(protected) as (value,):
+                    pinned.set()
+                    for _ in range(200):
+                        observed.append(value)
+                    done_reading.wait(timeout=10)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+            finally:
+                pinned.set()
+
+        def reclaimer():
+            pinned.wait(timeout=10)
+            for _ in range(20):
+                sma.reclaim(1)
+            done_reading.set()
+
+        r1 = threading.Thread(target=reader)
+        r2 = threading.Thread(target=reclaimer)
+        r1.start()
+        r2.start()
+        r1.join()
+        r2.join()
+        assert errors == []
+        assert set(observed) == {"precious"}
+        assert protected.valid

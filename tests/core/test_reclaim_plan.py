@@ -1,0 +1,78 @@
+"""Tests for reclamation planning and stats."""
+
+from repro.core.reclaim import ReclamationStats, plan_sds_quotas
+from repro.core.sma import SoftMemoryAllocator
+from repro.sds.soft_linked_list import SoftLinkedList
+
+
+def contexts_with_pages(specs):
+    """specs: list of (priority, elements); returns SMA's contexts."""
+    sma = SoftMemoryAllocator(name="plan-test")
+    for i, (priority, elements) in enumerate(specs):
+        lst = SoftLinkedList(
+            sma, name=f"sds{i}", priority=priority, element_size=2048
+        )
+        for j in range(elements):
+            lst.append(j)
+    return sma.contexts
+
+
+class TestPlanQuotas:
+    def test_lowest_priority_drafted_first(self):
+        ctxs = contexts_with_pages([(5, 10), (1, 10)])
+        plan = plan_sds_quotas(ctxs, 3)
+        assert plan[0][0].priority == 1
+        assert plan[0][1] == 3
+
+    def test_spills_to_next_priority(self):
+        ctxs = contexts_with_pages([(5, 10), (1, 4)])  # prio-1 has 2 pages
+        plan = plan_sds_quotas(ctxs, 5)
+        assert [(c.priority, q) for c, q in plan] == [(1, 2), (5, 3)]
+
+    def test_zero_quota_empty_plan(self):
+        ctxs = contexts_with_pages([(1, 10)])
+        assert plan_sds_quotas(ctxs, 0) == []
+
+    def test_plan_never_exceeds_capacity(self):
+        ctxs = contexts_with_pages([(1, 4), (2, 4)])  # 2 pages each
+        plan = plan_sds_quotas(ctxs, 100)
+        assert sum(q for _, q in plan) == 4
+
+    def test_ties_break_by_creation_order(self):
+        ctxs = contexts_with_pages([(1, 4), (1, 4)])
+        plan = plan_sds_quotas(ctxs, 1)
+        assert plan[0][0].context_id < ctxs[1].context_id or len(ctxs) == 1
+
+    def test_empty_contexts_skipped(self):
+        ctxs = contexts_with_pages([(1, 0), (2, 10)])
+        plan = plan_sds_quotas(ctxs, 2)
+        assert len(plan) == 1
+        assert plan[0][0].priority == 2
+
+    def test_negative_quota_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            plan_sds_quotas([], -1)
+
+
+class TestReclamationStats:
+    def test_totals(self):
+        stats = ReclamationStats(demanded_pages=10)
+        stats.pages_from_budget = 2
+        stats.pages_from_pool = 3
+        stats.pages_from_sds = 5
+        assert stats.pages_reclaimed == 10
+        assert stats.satisfied
+
+    def test_unsatisfied(self):
+        stats = ReclamationStats(demanded_pages=10)
+        stats.pages_from_budget = 1
+        assert not stats.satisfied
+
+    def test_str_mentions_counts(self):
+        stats = ReclamationStats(demanded_pages=4)
+        stats.pages_from_sds = 4
+        stats.allocations_freed = 8
+        text = str(stats)
+        assert "4/4" in text and "8 allocations" in text

@@ -1,0 +1,119 @@
+"""Property-based tests: SMA invariants under arbitrary op sequences."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core.sma import SoftMemoryAllocator
+from repro.mem.placer import PagePlacer
+from repro.mem.sizeclass import SizeClassPlacer
+from repro.util.units import PAGE_SIZE
+
+#: both allocator cores must satisfy the same SMA-level properties
+PLACERS = {"extent": PagePlacer, "slab": SizeClassPlacer}
+
+
+@pytest.mark.parametrize("placer_name", sorted(PLACERS))
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["malloc", "free", "reclaim"]),
+            st.integers(min_value=1, max_value=2 * PAGE_SIZE),
+        ),
+        max_size=80,
+    ),
+    rng=st.randoms(),
+)
+def test_random_op_sequences_hold_invariants(placer_name, ops, rng):
+    sma = SoftMemoryAllocator(
+        name="prop",
+        request_batch_pages=4,
+        placer_factory=PLACERS[placer_name],
+    )
+    ctxs = [sma.create_context(f"c{i}", priority=i) for i in range(3)]
+    live = []
+    for op, size in ops:
+        if op == "malloc":
+            live.append(sma.soft_malloc(size, rng.choice(ctxs), size))
+        elif op == "free" and live:
+            sma.soft_free(live.pop(rng.randrange(len(live))))
+        elif op == "reclaim":
+            sma.reclaim(size % 8)
+            live = [p for p in live if p.valid]
+        sma.check_invariants()
+    # conservation: live bytes equal the sum of surviving payload sizes
+    assert sma.live_bytes == sum(p.size for p in live)
+
+
+class SmaMachine(RuleBasedStateMachine):
+    """Stateful model-based test of the SMA against a simple model.
+
+    The model is just the set of live payloads; the SMA must agree with
+    it after any interleaving of mallocs, frees, reclamations, and
+    voluntary releases.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.sma = SoftMemoryAllocator(name="model", request_batch_pages=2)
+        self.low = self.sma.create_context("low", priority=0)
+        self.high = self.sma.create_context("high", priority=5)
+        self.live = {}
+        self.counter = 0
+
+    @initialize()
+    def setup(self):
+        pass
+
+    @rule(size=st.integers(min_value=1, max_value=PAGE_SIZE), high=st.booleans())
+    def malloc(self, size, high):
+        self.counter += 1
+        ctx = self.high if high else self.low
+        ptr = self.sma.soft_malloc(size, ctx, payload=self.counter)
+        self.live[ptr.alloc_id] = (ptr, self.counter)
+
+    @rule(data=st.data())
+    def free(self, data):
+        if not self.live:
+            return
+        alloc_id = data.draw(st.sampled_from(sorted(self.live)))
+        ptr, __ = self.live.pop(alloc_id)
+        self.sma.soft_free(ptr)
+
+    @rule(pages=st.integers(min_value=0, max_value=5))
+    def reclaim(self, pages):
+        self.sma.reclaim(pages)
+        self.live = {
+            aid: (ptr, val)
+            for aid, (ptr, val) in self.live.items()
+            if ptr.valid
+        }
+
+    @rule()
+    def return_excess(self):
+        self.sma.return_excess()
+
+    @invariant()
+    def ledgers_consistent(self):
+        self.sma.check_invariants()
+
+    @invariant()
+    def payloads_intact(self):
+        for __, (ptr, val) in self.live.items():
+            assert ptr.deref() == val
+
+    @invariant()
+    def held_at_most_granted(self):
+        assert self.sma.budget.held <= self.sma.budget.granted
+
+
+TestSmaStateMachine = SmaMachine.TestCase
+TestSmaStateMachine.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)

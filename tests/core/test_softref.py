@@ -1,0 +1,124 @@
+"""Tests for SoftReference / ReferenceQueue (section 7 language integration)."""
+
+import pytest
+
+from repro.core.sma import SoftMemoryAllocator
+from repro.core.softref import ReferenceQueue
+from repro.sds.soft_linked_list import SoftLinkedList
+
+
+@pytest.fixture
+def sma():
+    return SoftMemoryAllocator(name="ref-test", request_batch_pages=1)
+
+
+class TestSoftReference:
+    def test_get_live(self, sma):
+        ctx = sma.create_context("c")
+        ptr = sma.soft_malloc(8, ctx, payload="v")
+        ref = sma.soft_reference(ptr)
+        assert ref.get() == "v"
+        assert not ref.cleared
+
+    def test_get_after_reclaim_is_none(self, sma):
+        ctx = sma.create_context("c")
+        ptr = sma.soft_malloc(8, ctx, payload="v")
+        ref = sma.soft_reference(ptr)
+        sma.reclaim_free(ptr)
+        assert ref.get() is None
+        assert ref.cleared
+
+    def test_get_never_raises(self, sma):
+        ctx = sma.create_context("c")
+        ptr = sma.soft_malloc(8, ctx)
+        ref = sma.soft_reference(ptr)
+        sma.soft_free(ptr)
+        assert ref.get() is None  # no ReclaimedMemoryError
+
+    def test_reference_to_dead_alloc_rejected(self, sma):
+        ctx = sma.create_context("c")
+        ptr = sma.soft_malloc(8, ctx)
+        sma.soft_free(ptr)
+        with pytest.raises(ValueError):
+            sma.soft_reference(ptr)
+
+    def test_tag_carried(self, sma):
+        ctx = sma.create_context("c")
+        ptr = sma.soft_malloc(8, ctx)
+        ref = sma.soft_reference(ptr, tag="user:42")
+        assert ref.tag == "user:42"
+
+
+class TestReferenceQueue:
+    def test_enqueued_on_reclamation(self, sma):
+        queue = ReferenceQueue()
+        ctx = sma.create_context("c")
+        ptr = sma.soft_malloc(8, ctx, payload="v")
+        ref = sma.soft_reference(ptr, queue=queue, tag="k")
+        sma.reclaim_free(ptr)
+        assert len(queue) == 1
+        polled = queue.poll()
+        assert polled is ref
+        assert polled.tag == "k"
+        assert queue.poll() is None
+
+    def test_not_enqueued_on_explicit_free(self, sma):
+        """Only reclamation is a surprise worth signalling; the app's
+        own free is not."""
+        queue = ReferenceQueue()
+        ctx = sma.create_context("c")
+        ptr = sma.soft_malloc(8, ctx)
+        sma.soft_reference(ptr, queue=queue)
+        sma.soft_free(ptr)
+        assert len(queue) == 0
+
+    def test_multiple_references_same_alloc(self, sma):
+        queue = ReferenceQueue()
+        ctx = sma.create_context("c")
+        ptr = sma.soft_malloc(8, ctx)
+        r1 = sma.soft_reference(ptr, queue=queue)
+        r2 = sma.soft_reference(ptr, queue=queue)
+        sma.reclaim_free(ptr)
+        assert {id(r) for r in queue.drain()} == {id(r1), id(r2)}
+
+    def test_drain(self, sma):
+        queue = ReferenceQueue()
+        ctx = sma.create_context("c")
+        for i in range(3):
+            ptr = sma.soft_malloc(8, ctx)
+            sma.soft_reference(ptr, queue=queue, tag=i)
+            sma.reclaim_free(ptr)
+        refs = queue.drain()
+        assert [r.tag for r in refs] == [0, 1, 2]
+        assert len(queue) == 0
+
+    def test_enqueue_once(self, sma):
+        queue = ReferenceQueue()
+        ctx = sma.create_context("c")
+        ptr = sma.soft_malloc(8, ctx)
+        ref = sma.soft_reference(ptr, queue=queue)
+        ref._on_reclaimed()
+        ref._on_reclaimed()
+        assert len(queue) == 1
+
+    def test_queue_works_through_sds_reclamation(self, sma):
+        """End to end: an SDS is reclaimed by the SMA; references into
+        its elements land in the app's queue."""
+        queue = ReferenceQueue()
+        lst = SoftLinkedList(sma, element_size=2048)
+        refs = [
+            sma.soft_reference(lst.append(i), queue=queue, tag=i)
+            for i in range(10)
+        ]
+        sma.reclaim(2)  # oldest four elements die
+        cleared = sorted(r.tag for r in queue.drain())
+        assert cleared == [0, 1, 2, 3]
+        assert all(not refs[i].cleared for i in range(4, 10))
+
+    def test_registry_count(self, sma):
+        ctx = sma.create_context("c")
+        ptr = sma.soft_malloc(8, ctx)
+        sma.soft_reference(ptr)
+        assert sma.refs.tracked_count == 1
+        sma.soft_free(ptr)
+        assert sma.refs.tracked_count == 0

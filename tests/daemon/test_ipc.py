@@ -1,0 +1,63 @@
+"""Tests for channel round-trip accounting."""
+
+from repro.core.sma import SoftMemoryAllocator
+from repro.daemon.ipc import Channel
+from repro.daemon.smd import SoftMemoryDaemon
+from repro.sds.soft_linked_list import SoftLinkedList
+from repro.util.units import KIB
+
+
+class TestChannel:
+    def test_counts_round_trips(self):
+        ch = Channel()
+        ch.round_trip()
+        ch.round_trip()
+        assert ch.round_trips == 2
+
+    def test_cost_hook_fires(self):
+        ticks = []
+        ch = Channel(on_round_trip=lambda: ticks.append(1))
+        ch.round_trip()
+        assert ticks == [1]
+
+
+class TestClientTraffic:
+    def test_requests_counted(self):
+        smd = SoftMemoryDaemon(soft_capacity_pages=1000)
+        sma = SoftMemoryAllocator(name="a", request_batch_pages=8)
+        ch = Channel()
+        record = smd.register(sma, channel=ch)
+        lst = SoftLinkedList(sma, element_size=KIB)
+        for i in range(8 * 4 * 3):  # needs 24 pages = 3 batch requests
+            lst.append(i)
+        assert ch.round_trips == 3
+        assert record.requests_approved == 3
+
+    def test_demands_counted_on_target_channel(self):
+        smd = SoftMemoryDaemon(soft_capacity_pages=10)
+        victim = SoftMemoryAllocator(name="v", request_batch_pages=1)
+        vch = Channel()
+        smd.register(victim, channel=vch, traditional_pages=100)
+        lst = SoftLinkedList(victim, element_size=4096)
+        for i in range(10):
+            lst.append(i)
+        trips_after_fill = vch.round_trips
+        presser = SoftMemoryAllocator(name="p", request_batch_pages=1)
+        smd.register(presser, channel=Channel())
+        plst = SoftLinkedList(presser, element_size=4096)
+        for i in range(3):
+            plst.append(i)
+        assert vch.round_trips > trips_after_fill  # demand crossed the wire
+
+    def test_amortization_shape(self):
+        """The case-2 claim: round-trips grow with pages requested, not
+        with allocation count."""
+        smd = SoftMemoryDaemon(soft_capacity_pages=10_000)
+        sma = SoftMemoryAllocator(name="a", request_batch_pages=64)
+        ch = Channel()
+        smd.register(sma, channel=ch)
+        lst = SoftLinkedList(sma, element_size=KIB)
+        n = 64 * 4 * 4  # 1024 allocations
+        for i in range(n):
+            lst.append(i)
+        assert ch.round_trips <= n // 100  # far fewer trips than allocs

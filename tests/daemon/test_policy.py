@@ -1,0 +1,101 @@
+"""Tests for reclamation target selection."""
+
+import pytest
+
+from repro.core.sma import SoftMemoryAllocator
+from repro.daemon.ipc import Channel
+from repro.daemon.policy import SelectionConfig, demand_size, order_targets
+from repro.daemon.registry import ProcessRecord
+from repro.sds.soft_linked_list import SoftLinkedList
+from repro.util.units import PAGE_SIZE
+
+
+def make_record(name, *, traditional=0, soft_pages=0, headroom=0):
+    """Build a record whose SMA holds real soft pages."""
+    sma = SoftMemoryAllocator(name=name, request_batch_pages=1)
+    if soft_pages:
+        lst = SoftLinkedList(sma, element_size=PAGE_SIZE)
+        for i in range(soft_pages):
+            lst.append(i)
+    if headroom:
+        sma.budget.grant(headroom)
+    return ProcessRecord(
+        name=name, sma=sma, channel=Channel(), traditional_pages=traditional
+    )
+
+
+class TestOrderTargets:
+    def test_descending_weight(self):
+        small = make_record("small", traditional=10, soft_pages=5)
+        big = make_record("big", traditional=100, soft_pages=5)
+        order = order_targets([small, big], 3, SelectionConfig())
+        assert [r.name for r in order] == ["big", "small"]
+
+    def test_flexible_targets_first(self):
+        """Section 4: the daemon prefers targets with unused budget over
+        ones whose memory is all tied up in SDSs — even heavier ones."""
+        rigid = make_record("rigid", traditional=100, soft_pages=10)
+        flexible = make_record(
+            "flexible", traditional=10, soft_pages=2, headroom=8
+        )
+        order = order_targets([rigid, flexible], 3, SelectionConfig())
+        assert order[0].name == "flexible"
+        assert order[1].name == "rigid"  # still reachable as fallback
+
+    def test_empty_processes_excluded(self):
+        empty = make_record("empty")
+        holder = make_record("holder", traditional=5, soft_pages=2)
+        order = order_targets([empty, holder], 1, SelectionConfig())
+        assert [r.name for r in order] == ["holder"]
+
+    def test_deterministic_tiebreak_by_pid(self):
+        a = make_record("a", traditional=10, soft_pages=2)
+        b = make_record("b", traditional=10, soft_pages=2)
+        order = order_targets([b, a], 1, SelectionConfig())
+        assert order[0].pid < order[1].pid
+
+    def test_custom_weight_fn(self):
+        from repro.daemon.weights import soft_only_weight
+
+        lots_soft = make_record("soft", traditional=1, soft_pages=20)
+        lots_trad = make_record("trad", traditional=500, soft_pages=2)
+        cfg = SelectionConfig(weight_fn=soft_only_weight)
+        order = order_targets([lots_trad, lots_soft], 1, cfg)
+        assert order[0].name == "soft"
+
+
+class TestDemandSize:
+    def test_at_least_remaining_need(self):
+        r = make_record("r", soft_pages=100)
+        assert demand_size(r, 10, SelectionConfig(over_reclaim_frac=0.0)) == 10
+
+    def test_over_reclaim_amortization(self):
+        """Section 4: the demand is a fixed percentage of holdings, which
+        may exceed the immediate request."""
+        r = make_record("r", soft_pages=100)
+        cfg = SelectionConfig(over_reclaim_frac=0.25)
+        assert demand_size(r, 10, cfg) == 25
+
+    def test_capped_by_reclaimable(self):
+        r = make_record("r", soft_pages=4)
+        assert demand_size(r, 100, SelectionConfig()) == 4
+
+    def test_headroom_counts_as_reclaimable(self):
+        r = make_record("r", soft_pages=2, headroom=10)
+        assert demand_size(r, 100, SelectionConfig()) == 12
+
+
+class TestSelectionConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SelectionConfig(target_cap=0)
+        with pytest.raises(ValueError):
+            SelectionConfig(over_reclaim_frac=1.5)
+        with pytest.raises(ValueError):
+            SelectionConfig(over_reclaim_frac=-0.1)
+
+    def test_defaults_match_paper(self):
+        cfg = SelectionConfig()
+        assert cfg.target_cap >= 1  # "a capped number of processes"
+        assert 0 < cfg.over_reclaim_frac < 1  # "a fixed memory percentage"
+        assert not cfg.allow_self_reclaim

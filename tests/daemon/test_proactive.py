@@ -1,0 +1,188 @@
+"""Tests for proactive reclamation and proportional distribution."""
+
+import pytest
+
+from repro.core.sma import SoftMemoryAllocator
+from repro.daemon.policy import SelectionConfig, proportional_demands
+from repro.daemon.proactive import ProactiveReclaimer
+from repro.daemon.smd import SmdConfig, SoftMemoryDaemon
+from repro.sds.soft_linked_list import SoftLinkedList
+from repro.util.units import PAGE_SIZE
+
+
+def daemon(capacity=100, **selection_kwargs):
+    return SoftMemoryDaemon(
+        soft_capacity_pages=capacity,
+        config=SmdConfig(selection=SelectionConfig(**selection_kwargs)),
+    )
+
+
+def attach(smd, name, traditional=0, batch=1):
+    sma = SoftMemoryAllocator(name=name, request_batch_pages=batch)
+    smd.register(sma, traditional_pages=traditional)
+    return sma
+
+
+def fill(sma, pages):
+    lst = SoftLinkedList(sma, element_size=PAGE_SIZE)
+    for i in range(pages):
+        lst.append(i)
+    return lst
+
+
+class TestTrimFlexible:
+    def test_trim_takes_headroom(self):
+        smd = daemon()
+        sma = attach(smd, "a")
+        fill(sma, 10)
+        sma.reserve_budget(20)
+        pid = smd.registry.all()[0].pid
+        got = smd.trim_flexible(pid, 15)
+        assert got == 15
+        assert sma.budget.granted == 15
+        assert smd.registry.get(pid).granted_pages == 15
+
+    def test_trim_never_touches_data(self):
+        smd = daemon()
+        sma = attach(smd, "a")
+        lst = fill(sma, 10)
+        pid = smd.registry.all()[0].pid
+        got = smd.trim_flexible(pid, 5)
+        assert got == 0
+        assert len(lst) == 10
+
+    def test_pressure_metric(self):
+        smd = daemon(capacity=100)
+        sma = attach(smd, "a")
+        fill(sma, 25)
+        assert smd.pressure == 0.25
+
+
+class TestProactiveReclaimer:
+    def test_noop_when_above_watermark(self):
+        smd = daemon(capacity=100)
+        reclaimer = ProactiveReclaimer(smd, low_watermark_pages=20)
+        assert reclaimer.tick() == 0
+        assert reclaimer.deficit_pages == 0
+
+    def test_trims_flexible_to_watermark(self):
+        smd = daemon(capacity=100)
+        a = attach(smd, "a")
+        fill(a, 50)
+        a.reserve_budget(45)  # assigned 95, unassigned 5
+        reclaimer = ProactiveReclaimer(smd, low_watermark_pages=30)
+        got = reclaimer.tick()
+        assert got == 25
+        assert smd.unassigned_pages == 30
+        assert reclaimer.pages_trimmed == 25
+
+    def test_non_aggressive_stops_at_flexible(self):
+        smd = daemon(capacity=100)
+        a = attach(smd, "a")
+        lst = fill(a, 95)
+        reclaimer = ProactiveReclaimer(smd, low_watermark_pages=30)
+        got = reclaimer.tick()
+        assert got == 0
+        assert len(lst) == 95  # untouched
+
+    def test_aggressive_demands_in_use_memory(self):
+        smd = daemon(capacity=100)
+        a = attach(smd, "a")
+        lst = fill(a, 95)
+        reclaimer = ProactiveReclaimer(
+            smd, low_watermark_pages=30, aggressive=True
+        )
+        got = reclaimer.tick()
+        assert got == 25
+        assert smd.unassigned_pages == 30
+        assert len(lst) == 70
+        assert reclaimer.pages_demanded == 25
+
+    def test_requests_after_proactive_pass_avoid_reclamation(self):
+        """The zswap trade-off: pre-trimmed capacity means a request
+        finds room without triggering an episode."""
+        smd = daemon(capacity=100)
+        a = attach(smd, "a")
+        fill(a, 60)
+        a.reserve_budget(40)  # capacity fully assigned
+        ProactiveReclaimer(smd, low_watermark_pages=30).tick()
+        b = attach(smd, "b")
+        fill(b, 20)
+        assert smd.reclamation_episodes == 0
+
+    def test_validation(self):
+        smd = daemon(capacity=100)
+        with pytest.raises(ValueError):
+            ProactiveReclaimer(smd, low_watermark_pages=-1)
+        with pytest.raises(ValueError):
+            ProactiveReclaimer(smd, low_watermark_pages=101)
+
+
+class TestProportionalDistribution:
+    def test_plan_splits_by_weight(self):
+        smd = daemon(capacity=200)
+        heavy = attach(smd, "heavy", traditional=300)
+        light = attach(smd, "light", traditional=100)
+        fill(heavy, 60)
+        fill(light, 60)
+        records = {r.name: r for r in smd.registry}
+        plan = dict(
+            (r.name, d)
+            for r, d in proportional_demands(
+                [records["heavy"], records["light"]],
+                30,
+                SelectionConfig(over_reclaim_frac=0.0),
+            )
+        )
+        assert plan["heavy"] > plan["light"] > 0
+        assert plan["heavy"] + plan["light"] >= 30
+
+    def test_plan_caps_at_reclaimable(self):
+        smd = daemon(capacity=200)
+        tiny = attach(smd, "tiny", traditional=1000)
+        big = attach(smd, "big", traditional=10)
+        fill(tiny, 3)
+        fill(big, 100)
+        records = {r.name: r for r in smd.registry}
+        plan = dict(
+            (r.name, d)
+            for r, d in proportional_demands(
+                [records["tiny"], records["big"]],
+                50,
+                SelectionConfig(over_reclaim_frac=0.0),
+            )
+        )
+        assert plan["tiny"] <= 3
+        assert plan["tiny"] + plan["big"] >= 50  # top-up covered the cap
+
+    def test_empty_inputs(self):
+        assert proportional_demands([], 10, SelectionConfig()) == []
+
+    def test_daemon_spreads_disturbance(self):
+        """End to end: proportional mode touches both victims; greedy
+        drains only the heaviest."""
+        def build(distribution):
+            smd = daemon(
+                capacity=100,
+                distribution=distribution,
+                over_reclaim_frac=0.0,
+                target_cap=3,
+            )
+            a = attach(smd, "a", traditional=300)
+            b = attach(smd, "b", traditional=200)
+            fill(a, 50)
+            fill(b, 50)
+            presser = attach(smd, "p")
+            pid = next(r for r in smd.registry if r.name == "p").pid
+            smd.handle_request(pid, 20)
+            return {r.name: r.pages_reclaimed_from for r in smd.registry}
+
+        greedy = build("greedy")
+        proportional = build("proportional")
+        assert greedy["a"] == 20 and greedy["b"] == 0
+        assert proportional["a"] > 0 and proportional["b"] > 0
+        assert proportional["a"] > proportional["b"]
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            SelectionConfig(distribution="round-robin")

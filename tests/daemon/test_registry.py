@@ -1,0 +1,63 @@
+"""Tests for the daemon's process registry."""
+
+import pytest
+
+from repro.core.sma import SoftMemoryAllocator
+from repro.daemon.ipc import Channel
+from repro.daemon.registry import ProcessRecord, Registry
+
+
+def record(name="p", traditional=0):
+    return ProcessRecord(
+        name=name,
+        sma=SoftMemoryAllocator(name=name),
+        channel=Channel(),
+        traditional_pages=traditional,
+    )
+
+
+class TestRegistry:
+    def test_add_get(self):
+        reg = Registry()
+        rec = record("a")
+        reg.add(rec)
+        assert reg.get(rec.pid) is rec
+        assert len(reg) == 1
+
+    def test_remove(self):
+        reg = Registry()
+        rec = record()
+        reg.add(rec)
+        assert reg.remove(rec.pid) is rec
+        assert len(reg) == 0
+        with pytest.raises(KeyError):
+            reg.get(rec.pid)
+
+    def test_iteration_and_all(self):
+        reg = Registry()
+        records = [record(f"p{i}") for i in range(3)]
+        for rec in records:
+            reg.add(rec)
+        assert list(reg) == records
+        assert reg.all() == records
+
+    def test_total_granted(self):
+        reg = Registry()
+        a, b = record("a"), record("b")
+        a.granted_pages = 7
+        b.granted_pages = 5
+        reg.add(a)
+        reg.add(b)
+        assert reg.total_granted() == 12
+
+    def test_unique_pids(self):
+        assert record().pid != record().pid
+
+    def test_record_proxies_sma_state(self):
+        rec = record(traditional=9)
+        rec.sma.budget.grant(4)
+        rec.sma.budget.acquire(1)
+        assert rec.soft_pages == 1
+        assert rec.flexibility == 3
+        assert rec.reclaimable_pages == 4
+        assert rec.traditional_pages == 9

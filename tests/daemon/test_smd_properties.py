@@ -1,0 +1,105 @@
+"""Stateful property test: daemon ledgers under arbitrary workloads.
+
+Whatever interleaving of allocations, frees, voluntary releases, and
+pressure-induced reclamations happens across multiple processes, the
+daemon's view must stay consistent:
+
+* assigned budget never exceeds capacity,
+* the daemon's per-process ledgers mirror each SMA's own ledger,
+* every SMA's internal invariants hold,
+* physical frames in use equal the sum of held soft pages.
+"""
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.errors import SoftMemoryDenied
+from repro.core.sma import SoftMemoryAllocator
+from repro.daemon.policy import SelectionConfig
+from repro.daemon.smd import SmdConfig, SoftMemoryDaemon
+from repro.mem.physical import PhysicalMemory
+from repro.sds.soft_linked_list import SoftLinkedList
+from repro.util.units import MIB
+
+CAPACITY_PAGES = 64
+
+
+class DaemonMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.physical = PhysicalMemory(4 * MIB)  # 1024 frames
+        self.smd = SoftMemoryDaemon(
+            soft_capacity_pages=CAPACITY_PAGES,
+            config=SmdConfig(
+                selection=SelectionConfig(over_reclaim_frac=0.2)
+            ),
+        )
+        self.lists: list[SoftLinkedList] = []
+        for i in range(3):
+            sma = SoftMemoryAllocator(
+                name=f"p{i}",
+                physical=self.physical,
+                request_batch_pages=2,
+            )
+            self.smd.register(sma, traditional_pages=10 * (i + 1))
+            self.lists.append(
+                SoftLinkedList(sma, element_size=2048)
+            )
+
+    @rule(
+        proc=st.integers(min_value=0, max_value=2),
+        count=st.integers(min_value=1, max_value=8),
+    )
+    def allocate(self, proc, count):
+        lst = self.lists[proc]
+        try:
+            for i in range(count):
+                lst.append(i)
+        except SoftMemoryDenied:
+            pass  # legal outcome under full pressure
+
+    @rule(
+        proc=st.integers(min_value=0, max_value=2),
+        count=st.integers(min_value=1, max_value=8),
+    )
+    def free(self, proc, count):
+        lst = self.lists[proc]
+        for _ in range(min(count, len(lst))):
+            lst.pop_front()
+
+    @rule(proc=st.integers(min_value=0, max_value=2))
+    def release_excess(self, proc):
+        self.lists[proc]._sma.return_excess()
+
+    @rule(proc=st.integers(min_value=0, max_value=2),
+          pages=st.integers(min_value=1, max_value=16))
+    def reserve(self, proc, pages):
+        try:
+            self.lists[proc]._sma.reserve_budget(pages)
+        except SoftMemoryDenied:
+            pass
+
+    @invariant()
+    def capacity_bound(self):
+        assert self.smd.assigned_pages <= self.smd.capacity_pages
+
+    @invariant()
+    def ledgers_mirror(self):
+        for record in self.smd.registry:
+            assert record.granted_pages == record.sma.budget.granted
+
+    @invariant()
+    def sma_invariants(self):
+        for lst in self.lists:
+            lst._sma.check_invariants()
+
+    @invariant()
+    def frames_conserved(self):
+        soft_frames = sum(r.sma.budget.held for r in self.smd.registry)
+        assert self.physical.used_frames == soft_frames
+
+
+TestDaemonStateMachine = DaemonMachine.TestCase
+TestDaemonStateMachine.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)

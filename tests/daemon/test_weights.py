@@ -1,0 +1,86 @@
+"""Tests for reclamation-weight policies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.daemon.weights import (
+    WEIGHT_POLICIES,
+    paper_weight,
+    soft_only_weight,
+    total_footprint_weight,
+    traditional_only_weight,
+)
+
+
+class TestPaperWeight:
+    def test_paper_worked_example(self):
+        """Section 3.3: A and B hold the same soft pages, T_A < T_B;
+        then A must have the lower weight."""
+        soft = 100
+        assert paper_weight(50, soft) < paper_weight(200, soft)
+
+    def test_criterion_i_bigger_footprint_heavier(self):
+        # growing either component grows the weight
+        assert paper_weight(100, 50) > paper_weight(90, 50)
+        assert paper_weight(100, 50) > paper_weight(100, 40)
+
+    def test_criterion_ii_soft_heavy_protected(self):
+        """Two processes with identical totals: the one holding more of
+        its footprint in soft memory weighs less."""
+        soft_heavy = paper_weight(20, 180)   # 10% traditional
+        trad_heavy = paper_weight(180, 20)   # 90% traditional
+        assert soft_heavy < trad_heavy
+
+    def test_zero_footprint(self):
+        assert paper_weight(0, 0) == 0.0
+
+    def test_pure_soft_process_weighs_zero(self):
+        # no traditional memory -> soft term scales to nothing
+        assert paper_weight(0, 1000) == 0.0
+
+    def test_pure_traditional(self):
+        assert paper_weight(100, 0) == 100.0
+
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_bounded_by_footprint(self, t, s):
+        w = paper_weight(t, s)
+        assert t <= w + 1e-9 or (t + s) == 0
+        assert w <= t + s
+
+    @given(
+        st.integers(min_value=1, max_value=10**6),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_monotone_in_traditional(self, t, s):
+        assert paper_weight(t + 1, s) > paper_weight(t, s)
+
+
+class TestOtherPolicies:
+    def test_footprint(self):
+        assert total_footprint_weight(3, 4) == 7.0
+
+    def test_soft_only(self):
+        assert soft_only_weight(1000, 5) == 5.0
+
+    def test_traditional_only(self):
+        assert traditional_only_weight(7, 1000) == 7.0
+
+    def test_footprint_ignores_composition(self):
+        # the disincentive the paper warns about: soft-heavy and
+        # traditional-heavy processes weigh the same
+        assert total_footprint_weight(20, 180) == total_footprint_weight(180, 20)
+
+    def test_registry_complete(self):
+        assert set(WEIGHT_POLICIES) == {
+            "paper",
+            "footprint",
+            "soft-only",
+            "traditional-only",
+        }
+
+    @pytest.mark.parametrize("name", sorted(WEIGHT_POLICIES))
+    def test_all_policies_callable(self, name):
+        assert WEIGHT_POLICIES[name](10, 10) >= 0.0

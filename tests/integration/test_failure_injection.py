@@ -1,0 +1,133 @@
+"""Failure injection: random kills and hostile callbacks mid-workload.
+
+The accounting must survive anything: processes dying at arbitrary
+points (frames conserved, daemon ledgers consistent, survivors fully
+functional) and victim callbacks that misbehave during reclamation.
+"""
+
+import random
+
+import pytest
+
+from repro.core.errors import SoftMemoryDenied
+from repro.sds.soft_hash_table import SoftHashTable
+from repro.sds.soft_linked_list import SoftLinkedList
+from repro.sim.machine import Machine, MachineConfig
+from repro.util.units import MIB, PAGE_SIZE
+
+
+def soft_frames(machine):
+    return sum(r.sma.budget.held for r in machine.smd.registry)
+
+
+def traditional_frames(machine):
+    return sum(p.traditional_pages for p in machine.alive_processes)
+
+
+@pytest.mark.parametrize("seed", [2, 13, 99])
+def test_random_kills_conserve_frames(seed):
+    rng = random.Random(seed)
+    machine = Machine(MachineConfig(
+        total_memory_bytes=32 * MIB, soft_capacity_bytes=12 * MIB))
+    procs = []
+    for i in range(6):
+        proc = machine.spawn(f"p{i}", traditional_pages=rng.randint(10, 100))
+        lst = SoftLinkedList(proc.sma, element_size=PAGE_SIZE)
+        procs.append((proc, lst))
+
+    for step in range(300):
+        proc, lst = rng.choice(procs)
+        if not proc.alive:
+            continue
+        action = rng.random()
+        if action < 0.55:
+            try:
+                lst.append(step)
+            except SoftMemoryDenied:
+                pass
+        elif action < 0.8 and len(lst):
+            lst.pop_front()
+        elif action < 0.9:
+            proc.sma.return_excess()
+        else:
+            proc.kill()
+        # global conservation after every step
+        assert machine.physical.used_frames == (
+            soft_frames(machine) + traditional_frames(machine)
+        )
+        assert machine.smd.assigned_pages <= machine.smd.capacity_pages
+        for record in machine.smd.registry:
+            assert record.granted_pages == record.sma.budget.granted
+
+    # survivors still work end to end
+    for proc, lst in procs:
+        if proc.alive:
+            lst.append("final")
+            assert list(lst)[-1] == "final"
+            proc.sma.check_invariants()
+
+
+def test_kill_all_processes_returns_machine_to_empty():
+    machine = Machine(MachineConfig())
+    procs = [machine.spawn(f"p{i}", traditional_pages=20) for i in range(4)]
+    for proc in procs:
+        lst = SoftLinkedList(proc.sma, element_size=PAGE_SIZE)
+        for i in range(30):
+            lst.append(i)
+    for proc in procs:
+        proc.kill()
+    assert machine.physical.used_frames == 0
+    assert machine.smd.assigned_pages == 0
+    assert len(machine.smd.registry) == 0
+
+
+def test_victim_death_between_demands():
+    """A process dies after pressure built against it; subsequent
+    requests must route around the corpse."""
+    machine = Machine(MachineConfig(soft_capacity_bytes=4 * MIB))
+    hog = machine.spawn("hog", traditional_pages=200)
+    hog_list = SoftLinkedList(hog.sma, element_size=PAGE_SIZE)
+    for i in range(1024):  # the whole soft region
+        hog_list.append(i)
+    hog.kill()
+    # the region is entirely free again; a newcomer gets it instantly
+    fresh = machine.spawn("fresh")
+    fresh_list = SoftLinkedList(fresh.sma, element_size=PAGE_SIZE)
+    for i in range(1024):
+        fresh_list.append(i)
+    assert machine.smd.reclamation_episodes == 0
+    assert machine.smd.denials == 0
+
+
+def test_hostile_callbacks_under_machine_pressure():
+    """Callbacks that raise, mutate the structure, or allocate during
+    reclamation must not corrupt the machine."""
+    machine = Machine(MachineConfig(soft_capacity_bytes=4 * MIB))
+    victim = machine.spawn("victim", traditional_pages=500)
+
+    table = None
+
+    def hostile(payload):
+        key, __ = payload
+        if key.endswith(b"3"):
+            raise RuntimeError("buggy cleanup")
+        # re-entrant read during reclamation (lookup of another key)
+        table.get(b"key:0")
+
+    table = SoftHashTable(victim.sma, entry_size=PAGE_SIZE,
+                          callback=hostile)
+    for i in range(1024):
+        table.put(f"key:{i}".encode(), i)
+
+    presser = machine.spawn("presser")
+    plist = SoftLinkedList(presser.sma, element_size=PAGE_SIZE)
+    for i in range(300):
+        plist.append(i)
+
+    assert victim.alive and presser.alive
+    assert victim.sma.last_reclamation.callback_errors > 0
+    victim.sma.check_invariants()
+    presser.sma.check_invariants()
+    # the table still serves reads and writes
+    table.put(b"post", "ok")
+    assert table.get(b"post") == "ok"

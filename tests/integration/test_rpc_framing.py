@@ -1,0 +1,134 @@
+"""Unit tests for the wire framing and server edge cases."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.core.locking import LockedSoftMemoryAllocator
+from repro.rpc.framing import FrameClosed, FrameStream
+from repro.rpc.server import RpcDaemonServer
+from repro.rpc.agent import SmaAgent
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    yield FrameStream(a), FrameStream(b)
+    a.close()
+    b.close()
+
+
+class TestFrameStream:
+    def test_roundtrip(self, pair):
+        left, right = pair
+        left.send({"op": "ping", "n": 1})
+        assert right.recv() == {"op": "ping", "n": 1}
+
+    def test_multiple_frames_one_read(self, pair):
+        left, right = pair
+        left.send({"a": 1})
+        left.send({"b": 2})
+        assert right.recv() == {"a": 1}
+        assert right.recv() == {"b": 2}
+
+    def test_strings_with_newlines_survive(self, pair):
+        left, right = pair
+        left.send({"text": "line1\nline2"})
+        assert right.recv() == {"text": "line1\nline2"}
+
+    def test_partial_delivery(self):
+        a, b = socket.socketpair()
+        try:
+            stream = FrameStream(b)
+            data = b'{"op":"request","pages":8}\n'
+            a.sendall(data[:10])
+            result = {}
+
+            def reader():
+                result["frame"] = stream.recv()
+
+            t = threading.Thread(target=reader)
+            t.start()
+            a.sendall(data[10:])
+            t.join(timeout=5)
+            assert result["frame"] == {"op": "request", "pages": 8}
+        finally:
+            a.close()
+            b.close()
+
+    def test_eof_raises_frame_closed(self, pair):
+        left, right = pair
+        left.close()
+        with pytest.raises((FrameClosed, OSError)):
+            right.recv()
+
+    def test_non_object_frame_rejected(self, pair):
+        left, right = pair
+        left._sock.sendall(b"[1,2,3]\n")
+        with pytest.raises(ValueError):
+            right.recv()
+
+    def test_malformed_json_rejected(self, pair):
+        left, right = pair
+        left._sock.sendall(b"{not json}\n")
+        with pytest.raises(ValueError):
+            right.recv()
+
+
+class TestServerEdgeCases:
+    def test_unknown_op_answered_with_error(self, tmp_path):
+        path = str(tmp_path / "smd.sock")
+        with RpcDaemonServer(path, soft_capacity_pages=10):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(5)
+            sock.connect(path)
+            stream = FrameStream(sock)
+            stream.send({"op": "bogus", "id": 1})
+            reply = stream.recv()
+            assert reply["op"] == "error"
+            stream.close()
+
+    def test_request_before_hello_rejected(self, tmp_path):
+        path = str(tmp_path / "smd.sock")
+        with RpcDaemonServer(path, soft_capacity_pages=10):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(5)
+            sock.connect(path)
+            stream = FrameStream(sock)
+            stream.send({"op": "request", "id": 7, "pages": 1})
+            reply = stream.recv()
+            assert reply["op"] == "error"
+            stream.close()
+
+    def test_startup_budget_over_the_wire(self, tmp_path):
+        from repro.daemon.smd import SmdConfig
+
+        path = str(tmp_path / "smd.sock")
+        with RpcDaemonServer(
+            path, soft_capacity_pages=50,
+            config=SmdConfig(startup_budget_pages=5),
+        ) as server:
+            sma = LockedSoftMemoryAllocator(name="c")
+            agent = SmaAgent.connect(path, sma)
+            assert sma.budget.granted == 5
+            assert server.smd.registry.get(agent.pid).granted_pages == 5
+            agent.close()
+
+    def test_release_settles_ledger(self, tmp_path):
+        from repro.sds.soft_linked_list import SoftLinkedList
+        from repro.util.units import PAGE_SIZE
+
+        path = str(tmp_path / "smd.sock")
+        with RpcDaemonServer(path, soft_capacity_pages=50) as server:
+            sma = LockedSoftMemoryAllocator(name="c", request_batch_pages=4)
+            agent = SmaAgent.connect(path, sma)
+            lst = SoftLinkedList(sma, element_size=PAGE_SIZE)
+            for i in range(10):
+                lst.append(i)
+            while lst:
+                lst.pop_front()
+            sma.return_excess()
+            assert server.smd.assigned_pages == 0
+            assert sma.budget.granted == 0
+            agent.close()

@@ -1,0 +1,162 @@
+"""Tests for the command table (dispatch semantics)."""
+
+import pytest
+
+from repro.core.sma import SoftMemoryAllocator
+from repro.kvstore.commands import dispatch
+from repro.kvstore.resp import RespError, SimpleString
+from repro.kvstore.store import DataStore
+
+
+@pytest.fixture
+def store():
+    return DataStore(SoftMemoryAllocator(name="cmd-test"))
+
+
+def run(store, *argv):
+    return dispatch(store, [
+        a if isinstance(a, bytes) else str(a).encode() for a in argv
+    ])
+
+
+class TestBasicCommands:
+    def test_ping(self, store):
+        assert run(store, "PING") == SimpleString("PONG")
+        assert run(store, "PING", "hello") == b"hello"
+
+    def test_echo(self, store):
+        assert run(store, "ECHO", "x") == b"x"
+
+    def test_set_get(self, store):
+        assert run(store, "SET", "k", "v") == SimpleString("OK")
+        assert run(store, "GET", "k") == b"v"
+
+    def test_get_missing_is_null(self, store):
+        assert run(store, "GET", "nope") is None
+
+    def test_case_insensitive_commands(self, store):
+        assert run(store, "set", "k", "v") == SimpleString("OK")
+        assert run(store, "GeT", "k") == b"v"
+
+    def test_setnx(self, store):
+        assert run(store, "SETNX", "k", "1") == 1
+        assert run(store, "SETNX", "k", "2") == 0
+        assert run(store, "GET", "k") == b"1"
+
+    def test_getset(self, store):
+        assert run(store, "GETSET", "k", "new") is None
+        assert run(store, "GETSET", "k", "newer") == b"new"
+
+    def test_mset_mget(self, store):
+        assert run(store, "MSET", "a", "1", "b", "2") == SimpleString("OK")
+        assert run(store, "MGET", "a", "b", "c") == [b"1", b"2", None]
+
+    def test_del_exists(self, store):
+        run(store, "SET", "k", "v")
+        assert run(store, "EXISTS", "k") == 1
+        assert run(store, "DEL", "k") == 1
+        assert run(store, "EXISTS", "k") == 0
+
+    def test_incr_family(self, store):
+        assert run(store, "INCR", "n") == 1
+        assert run(store, "INCRBY", "n", 10) == 11
+        assert run(store, "DECR", "n") == 10
+        assert run(store, "DECRBY", "n", 5) == 5
+
+    def test_incr_error_becomes_resp_error(self, store):
+        run(store, "SET", "k", "abc")
+        reply = run(store, "INCR", "k")
+        assert isinstance(reply, RespError)
+        assert "not an integer" in reply.message
+
+    def test_append_strlen(self, store):
+        assert run(store, "APPEND", "k", "ab") == 2
+        assert run(store, "STRLEN", "k") == 2
+
+    def test_keys_dbsize_flushall(self, store):
+        run(store, "MSET", "a", "1", "b", "2")
+        assert sorted(run(store, "KEYS", "*")) == [b"a", b"b"]
+        assert run(store, "DBSIZE") == 2
+        assert run(store, "FLUSHALL") == SimpleString("OK")
+        assert run(store, "DBSIZE") == 0
+
+
+class TestTtlCommands:
+    def test_expire_ttl_persist(self, store):
+        run(store, "SET", "k", "v")
+        assert run(store, "EXPIRE", "k", 100) == 1
+        assert run(store, "TTL", "k") == 100
+        assert run(store, "PERSIST", "k") == 1
+        assert run(store, "TTL", "k") == -1
+
+    def test_set_with_ex(self, store):
+        assert run(store, "SET", "k", "v", "EX", 50) == SimpleString("OK")
+        assert run(store, "TTL", "k") == 50
+
+    def test_set_with_px(self, store):
+        run(store, "SET", "k", "v", "PX", 5000)
+        assert run(store, "TTL", "k") == 5
+
+    def test_set_keepttl(self, store):
+        run(store, "SET", "k", "v", "EX", 50)
+        run(store, "SET", "k", "v2", "KEEPTTL")
+        assert run(store, "TTL", "k") == 50
+
+    def test_set_bad_option(self, store):
+        reply = run(store, "SET", "k", "v", "BOGUS")
+        assert isinstance(reply, RespError)
+
+    def test_ttl_missing(self, store):
+        assert run(store, "TTL", "nope") == -2
+
+
+class TestIntrospection:
+    def test_info(self, store):
+        run(store, "SET", "k", "v")
+        raw = run(store, "INFO")
+        assert b"keys:1" in raw
+        assert b"reclaimed_keys:0" in raw
+
+    def test_memory_usage(self, store):
+        run(store, "SET", "k", "v")
+        assert run(store, "MEMORY", "USAGE", "k") > 0
+        assert run(store, "MEMORY", "USAGE", "missing") is None
+
+    def test_memory_stats(self, store):
+        reply = run(store, "MEMORY", "STATS")
+        assert isinstance(reply, list)
+        assert b"keys" in reply
+
+    def test_memory_unknown_sub(self, store):
+        assert isinstance(run(store, "MEMORY", "BOGUS"), RespError)
+
+
+class TestErrors:
+    def test_unknown_command(self, store):
+        reply = run(store, "NOPE")
+        assert isinstance(reply, RespError)
+        assert "unknown command" in reply.message
+
+    def test_empty_command(self, store):
+        assert isinstance(dispatch(store, []), RespError)
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ("GET",),
+            ("SET", "k"),
+            ("ECHO",),
+            ("EXPIRE", "k"),
+            ("MSET", "a"),
+            ("MGET",),
+            ("DEL",),
+        ],
+    )
+    def test_arity_errors(self, store, argv):
+        reply = run(store, *argv)
+        assert isinstance(reply, RespError)
+        assert "wrong number of arguments" in reply.message
+
+    def test_errors_do_not_mutate(self, store):
+        run(store, "SET", "k")  # arity error
+        assert run(store, "DBSIZE") == 0

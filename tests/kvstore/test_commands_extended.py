@@ -1,0 +1,148 @@
+"""Tests for the extended command surface (hashes, lists, key mgmt)."""
+
+import pytest
+
+from repro.core.sma import SoftMemoryAllocator
+from repro.kvstore.commands import dispatch
+from repro.kvstore.resp import RespError, SimpleString
+from repro.kvstore.store import DataStore
+
+
+@pytest.fixture
+def store():
+    return DataStore(SoftMemoryAllocator(name="cmd-ext-test"))
+
+
+def run(store, *argv):
+    return dispatch(store, [
+        a if isinstance(a, bytes) else str(a).encode() for a in argv
+    ])
+
+
+class TestTypeAndStringCommands:
+    def test_type(self, store):
+        run(store, "SET", "s", "v")
+        run(store, "HSET", "h", "f", "v")
+        run(store, "RPUSH", "l", "x")
+        assert run(store, "TYPE", "s") == SimpleString("string")
+        assert run(store, "TYPE", "h") == SimpleString("hash")
+        assert run(store, "TYPE", "l") == SimpleString("list")
+        assert run(store, "TYPE", "nope") == SimpleString("none")
+
+    def test_getdel(self, store):
+        run(store, "SET", "k", "v")
+        assert run(store, "GETDEL", "k") == b"v"
+        assert run(store, "GET", "k") is None
+
+    def test_getrange_setrange(self, store):
+        run(store, "SET", "k", "Hello World")
+        assert run(store, "GETRANGE", "k", 0, 4) == b"Hello"
+        assert run(store, "SETRANGE", "k", 6, "Redis") == 11
+        assert run(store, "GET", "k") == b"Hello Redis"
+
+    def test_setex_psetex(self, store):
+        assert run(store, "SETEX", "k", 50, "v") == SimpleString("OK")
+        assert run(store, "TTL", "k") == 50
+        assert run(store, "PSETEX", "k2", 5000, "v") == SimpleString("OK")
+        assert run(store, "PTTL", "k2") == 5000
+
+    def test_wrongtype_error_format(self, store):
+        run(store, "RPUSH", "l", "x")
+        reply = run(store, "GET", "l")
+        assert isinstance(reply, RespError)
+        assert reply.message.startswith("WRONGTYPE")
+
+
+class TestKeyCommands:
+    def test_rename(self, store):
+        run(store, "SET", "a", "v")
+        assert run(store, "RENAME", "a", "b") == SimpleString("OK")
+        assert run(store, "GET", "b") == b"v"
+
+    def test_rename_missing(self, store):
+        reply = run(store, "RENAME", "nope", "x")
+        assert isinstance(reply, RespError)
+        assert "no such key" in reply.message
+
+    def test_renamenx(self, store):
+        run(store, "SET", "a", "1")
+        run(store, "SET", "b", "2")
+        assert run(store, "RENAMENX", "a", "b") == 0
+        assert run(store, "RENAMENX", "a", "c") == 1
+
+    def test_randomkey(self, store):
+        assert run(store, "RANDOMKEY") is None
+        run(store, "SET", "k", "v")
+        assert run(store, "RANDOMKEY") == b"k"
+
+    def test_scan(self, store):
+        for i in range(5):
+            run(store, "SET", f"k{i}", "v")
+        cursor, keys = run(store, "SCAN", 0, "COUNT", 3)
+        assert int(cursor) == 3
+        assert len(keys) == 3
+        cursor, keys = run(store, "SCAN", int(cursor), "COUNT", 3)
+        assert int(cursor) == 0
+        assert len(keys) == 2
+
+    def test_scan_match(self, store):
+        run(store, "SET", "user:1", "a")
+        run(store, "SET", "other", "b")
+        __, keys = run(store, "SCAN", 0, "MATCH", "user:*", "COUNT", 100)
+        assert keys == [b"user:1"]
+
+    def test_scan_bad_option(self, store):
+        assert isinstance(run(store, "SCAN", 0, "BOGUS"), RespError)
+
+    def test_expireat(self, store):
+        run(store, "SET", "k", "v")
+        assert run(store, "EXPIREAT", "k", 10**9) == 1
+        assert run(store, "TTL", "k") > 0
+
+
+class TestHashCommands:
+    def test_hset_hget_roundtrip(self, store):
+        assert run(store, "HSET", "h", "f1", "v1", "f2", "v2") == 2
+        assert run(store, "HGET", "h", "f1") == b"v1"
+        assert run(store, "HGET", "h", "zz") is None
+
+    def test_hset_arity(self, store):
+        assert isinstance(run(store, "HSET", "h", "f"), RespError)
+
+    def test_hdel_hlen(self, store):
+        run(store, "HSET", "h", "a", "1", "b", "2")
+        assert run(store, "HDEL", "h", "a") == 1
+        assert run(store, "HLEN", "h") == 1
+
+    def test_hgetall_flat_pairs(self, store):
+        run(store, "HSET", "h", "a", "1")
+        assert run(store, "HGETALL", "h") == [b"a", b"1"]
+
+    def test_hkeys_hvals_hexists(self, store):
+        run(store, "HSET", "h", "a", "1")
+        assert run(store, "HKEYS", "h") == [b"a"]
+        assert run(store, "HVALS", "h") == [b"1"]
+        assert run(store, "HEXISTS", "h", "a") == 1
+        assert run(store, "HEXISTS", "h", "z") == 0
+
+    def test_hincrby(self, store):
+        assert run(store, "HINCRBY", "h", "n", 7) == 7
+        assert run(store, "HINCRBY", "h", "n", -3) == 4
+
+
+class TestListCommands:
+    def test_push_pop(self, store):
+        assert run(store, "RPUSH", "l", "a", "b") == 2
+        assert run(store, "LPUSH", "l", "z") == 3
+        assert run(store, "LPOP", "l") == b"z"
+        assert run(store, "RPOP", "l") == b"b"
+        assert run(store, "LLEN", "l") == 1
+
+    def test_lrange_lindex(self, store):
+        run(store, "RPUSH", "l", "a", "b", "c")
+        assert run(store, "LRANGE", "l", 0, -1) == [b"a", b"b", b"c"]
+        assert run(store, "LINDEX", "l", 1) == b"b"
+        assert run(store, "LINDEX", "l", 99) is None
+
+    def test_pop_missing_is_null(self, store):
+        assert run(store, "LPOP", "nope") is None

@@ -1,0 +1,200 @@
+"""Tests for the RESP2 codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kvstore.resp import (
+    NULL,
+    ProtocolError,
+    RespError,
+    RespParser,
+    SimpleString,
+    encode_command,
+    encode_reply,
+)
+
+
+class TestEncodeCommand:
+    def test_basic(self):
+        assert (
+            encode_command("SET", "k", "v")
+            == b"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n"
+        )
+
+    def test_bytes_and_int_args(self):
+        out = encode_command("EXPIRE", b"key", 30)
+        assert b"$2\r\n30\r\n" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            encode_command()
+
+    def test_unencodable_rejected(self):
+        with pytest.raises(TypeError):
+            encode_command("SET", object())
+
+
+class TestEncodeReply:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (SimpleString("OK"), b"+OK\r\n"),
+            (RespError("ERR bad"), b"-ERR bad\r\n"),
+            (42, b":42\r\n"),
+            (-1, b":-1\r\n"),
+            (True, b":1\r\n"),
+            (None, b"$-1\r\n"),
+            (b"hi", b"$2\r\nhi\r\n"),
+            ("hi", b"$2\r\nhi\r\n"),
+            (b"", b"$0\r\n\r\n"),
+            ([], b"*0\r\n"),
+            ([1, b"x"], b"*2\r\n:1\r\n$1\r\nx\r\n"),
+            ([None], b"*1\r\n$-1\r\n"),
+        ],
+    )
+    def test_encodings(self, value, expected):
+        assert encode_reply(value) == expected
+
+    def test_nested_arrays(self):
+        assert encode_reply([[1], [2]]) == b"*2\r\n*1\r\n:1\r\n*1\r\n:2\r\n"
+
+    def test_unencodable(self):
+        with pytest.raises(TypeError):
+            encode_reply(object())
+
+
+class TestParser:
+    def parse(self, data: bytes):
+        p = RespParser()
+        p.feed(data)
+        return p.parse_all()
+
+    def test_simple_string(self):
+        assert self.parse(b"+OK\r\n") == ["OK"]
+        assert isinstance(self.parse(b"+OK\r\n")[0], SimpleString)
+
+    def test_error(self):
+        [err] = self.parse(b"-ERR nope\r\n")
+        assert isinstance(err, RespError)
+        assert err.message == "ERR nope"
+
+    def test_integer(self):
+        assert self.parse(b":1000\r\n") == [1000]
+        assert self.parse(b":-5\r\n") == [-5]
+
+    def test_bulk_string(self):
+        assert self.parse(b"$5\r\nhello\r\n") == [b"hello"]
+
+    def test_bulk_with_crlf_content(self):
+        assert self.parse(b"$4\r\na\r\nb\r\n") == [b"a\r\nb"]
+
+    def test_null_bulk(self):
+        assert self.parse(b"$-1\r\n") == [None]
+
+    def test_null_array(self):
+        assert self.parse(b"*-1\r\n") == [None]
+
+    def test_array(self):
+        assert self.parse(b"*2\r\n$1\r\na\r\n:3\r\n") == [[b"a", 3]]
+
+    def test_multiple_values(self):
+        assert self.parse(b":1\r\n:2\r\n") == [1, 2]
+
+    def test_incremental_feed(self):
+        p = RespParser()
+        p.feed(b"$5\r\nhel")
+        assert p.parse_all() == []
+        p.feed(b"lo\r\n")
+        assert p.parse_all() == [b"hello"]
+
+    def test_byte_at_a_time(self):
+        p = RespParser()
+        data = encode_command("SET", "key", "value")
+        results = []
+        for i in range(len(data)):
+            p.feed(data[i:i + 1])
+            results.extend(p.parse_all())
+        assert results == [[b"SET", b"key", b"value"]]
+
+    def test_partial_array_buffers(self):
+        p = RespParser()
+        p.feed(b"*2\r\n:1\r\n")
+        assert p.parse_all() == []
+        p.feed(b":2\r\n")
+        assert p.parse_all() == [[1, 2]]
+
+    def test_unknown_type_byte(self):
+        p = RespParser()
+        p.feed(b"?x\r\n")
+        with pytest.raises(ProtocolError):
+            p.parse_all()
+
+    def test_bad_integer(self):
+        p = RespParser()
+        p.feed(b":abc\r\n")
+        with pytest.raises(ProtocolError):
+            p.parse_all()
+
+    def test_unterminated_bulk(self):
+        p = RespParser()
+        p.feed(b"$3\r\nabcXX")
+        with pytest.raises(ProtocolError):
+            p.parse_all()
+
+    def test_null_sentinel_from_parse_one(self):
+        p = RespParser()
+        p.feed(b"$-1\r\n")
+        assert p.parse_one() is NULL
+
+    def test_buffer_compaction(self):
+        p = RespParser()
+        for _ in range(100):
+            p.feed(b":1\r\n" * 20)
+            p.parse_all()
+        assert p.buffered_bytes == 0
+
+
+command_args = st.lists(
+    st.one_of(
+        st.binary(max_size=50),
+        st.text(max_size=30),
+        st.integers(min_value=-10**9, max_value=10**9),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(command_args)
+def test_command_roundtrip_property(args):
+    """encode_command -> parse gives back the bulk-encoded argument list."""
+    p = RespParser()
+    p.feed(encode_command(*args))
+    [parsed] = p.parse_all()
+    expected = [
+        a if isinstance(a, bytes)
+        else str(a).encode() if isinstance(a, int)
+        else a.encode()
+        for a in args
+    ]
+    assert parsed == expected
+
+
+reply_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.integers(min_value=-10**12, max_value=10**12),
+        st.binary(max_size=60),
+    ),
+    lambda children: st.lists(children, max_size=5),
+    max_leaves=12,
+)
+
+
+@given(reply_values)
+def test_reply_roundtrip_property(value):
+    """encode_reply -> parse is the identity on the wire-type domain."""
+    p = RespParser()
+    p.feed(encode_reply(value))
+    [parsed] = p.parse_all()
+    assert parsed == value

@@ -1,0 +1,205 @@
+"""Tests for the data store (keyspace, TTL, reclamation integration)."""
+
+import pytest
+
+from repro.core.sma import SoftMemoryAllocator
+from repro.kvstore.store import DataStore, StoreConfig
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def store(clock):
+    sma = SoftMemoryAllocator(name="store-test", request_batch_pages=1)
+    return DataStore(sma, StoreConfig(time_fn=lambda: clock.now))
+
+
+class TestStrings:
+    def test_set_get(self, store):
+        store.set(b"k", b"v")
+        assert store.get(b"k") == b"v"
+
+    def test_get_missing(self, store):
+        assert store.get(b"nope") is None
+
+    def test_delete(self, store):
+        store.set(b"k", b"v")
+        assert store.delete(b"k") == 1
+        assert store.delete(b"k") == 0
+        assert store.get(b"k") is None
+
+    def test_multi_delete(self, store):
+        store.set(b"a", b"1")
+        store.set(b"b", b"2")
+        assert store.delete(b"a", b"b", b"c") == 2
+
+    def test_exists(self, store):
+        store.set(b"a", b"1")
+        assert store.exists(b"a") == 1
+        assert store.exists(b"a", b"a", b"b") == 2
+
+    def test_incr_decr(self, store):
+        assert store.incrby(b"n", 1) == 1
+        assert store.incrby(b"n", 5) == 6
+        assert store.incrby(b"n", -2) == 4
+        assert store.get(b"n") == b"4"
+
+    def test_incr_non_numeric_raises(self, store):
+        store.set(b"k", b"abc")
+        with pytest.raises(ValueError):
+            store.incrby(b"k", 1)
+
+    def test_append_strlen(self, store):
+        assert store.append(b"k", b"ab") == 2
+        assert store.append(b"k", b"cd") == 4
+        assert store.strlen(b"k") == 4
+        assert store.strlen(b"missing") == 0
+
+    def test_type_checking(self, store):
+        with pytest.raises(TypeError):
+            store.set("str", b"v")
+        with pytest.raises(TypeError):
+            store.set(b"k", 123)
+
+
+class TestExpiry:
+    def test_ttl_states(self, store, clock):
+        store.set(b"k", b"v")
+        assert store.ttl(b"k") == -1
+        assert store.ttl(b"missing") == -2
+        store.expire(b"k", 30)
+        assert store.ttl(b"k") == 30
+
+    def test_lazy_expiry(self, store, clock):
+        store.set(b"k", b"v", ex=10)
+        clock.advance(11)
+        assert store.get(b"k") is None
+        assert store.stats.expired_keys == 1
+
+    def test_not_expired_before_deadline(self, store, clock):
+        store.set(b"k", b"v", ex=10)
+        clock.advance(9)
+        assert store.get(b"k") == b"v"
+
+    def test_set_clears_ttl_by_default(self, store, clock):
+        store.set(b"k", b"v", ex=10)
+        store.set(b"k", b"v2")
+        clock.advance(11)
+        assert store.get(b"k") == b"v2"
+
+    def test_keep_ttl(self, store, clock):
+        store.set(b"k", b"v", ex=10)
+        store.set(b"k", b"v2", keep_ttl=True)
+        clock.advance(11)
+        assert store.get(b"k") is None
+
+    def test_persist(self, store, clock):
+        store.set(b"k", b"v", ex=10)
+        assert store.persist(b"k")
+        clock.advance(11)
+        assert store.get(b"k") == b"v"
+        assert not store.persist(b"k")  # no ttl to remove
+
+    def test_expire_missing_key(self, store):
+        assert not store.expire(b"missing", 10)
+
+    def test_sweep_expired(self, store, clock):
+        for i in range(5):
+            store.set(str(i).encode(), b"v", ex=10)
+        store.set(b"keeper", b"v")
+        clock.advance(11)
+        assert store.sweep_expired() == 5
+        assert store.dbsize() == 1
+
+
+class TestKeyspace:
+    def test_keys_pattern(self, store):
+        store.set(b"user:1", b"a")
+        store.set(b"user:2", b"b")
+        store.set(b"item:1", b"c")
+        assert sorted(store.keys(b"user:*")) == [b"user:1", b"user:2"]
+        assert len(store.keys()) == 3
+
+    def test_dbsize_and_flush(self, store):
+        for i in range(5):
+            store.set(str(i).encode(), b"v")
+        assert store.dbsize() == 5
+        store.flushall()
+        assert store.dbsize() == 0
+        assert store.traditional_bytes == 0
+
+    def test_memory_usage(self, store):
+        store.set(b"key", b"value")
+        usage = store.memory_usage(b"key")
+        assert usage is not None
+        assert usage > len(b"key") + len(b"value")
+        assert store.memory_usage(b"missing") is None
+
+
+class TestAccounting:
+    def test_traditional_bytes_track_keys_values(self, store):
+        store.set(b"abc", b"defg")
+        assert store.traditional_bytes == 7
+        store.set(b"abc", b"xy")  # overwrite
+        assert store.traditional_bytes == 5
+        store.delete(b"abc")
+        assert store.traditional_bytes == 0
+
+    def test_soft_bytes_grow_with_entries(self, store):
+        before = store.soft_bytes
+        store.set(b"k", b"v")
+        assert store.soft_bytes > before
+
+    def test_hit_miss_stats(self, store):
+        store.set(b"k", b"v")
+        store.get(b"k")
+        store.get(b"x")
+        assert store.stats.hits == 1
+        assert store.stats.misses == 1
+        assert store.stats.hit_rate == 0.5
+
+    def test_info_fields(self, store):
+        store.set(b"k", b"v")
+        info = store.info()
+        for field in (
+            "keys", "soft_bytes", "traditional_bytes", "hits", "misses",
+            "reclaimed_keys", "evictions",
+        ):
+            assert field in info
+
+
+class TestReclamationIntegration:
+    def test_reclaimed_keys_not_found(self, store):
+        """Section 5: requests for reclaimed pairs return 'not found'."""
+        for i in range(200):
+            store.set(f"key:{i:04d}".encode(), b"x" * 40)
+        sma = store.sma
+        stats = sma.reclaim(2)
+        assert stats.allocations_freed > 0
+        assert store.get(b"key:0000") is None
+        assert store.stats.reclaimed_keys == stats.allocations_freed
+
+    def test_callback_cleans_traditional_memory(self, store):
+        """The paper's measured bottleneck: the callback must free the
+        traditional key/value bytes or they leak."""
+        for i in range(200):
+            store.set(f"key:{i:04d}".encode(), b"x" * 40)
+        traditional_before = store.traditional_bytes
+        stats = store.sma.reclaim(2)
+        freed_pairs = stats.allocations_freed
+        expected = traditional_before - freed_pairs * (8 + 40)
+        assert store.traditional_bytes == expected
+
+    def test_expires_cleaned_on_reclaim(self, store, clock):
+        store.set(b"k0", b"v", ex=100)
+        for i in range(100):
+            store.set(f"key:{i:04d}".encode(), b"v")
+        store.sma.reclaim(1)
+        assert store.get(b"k0") is None
+        assert store.ttl(b"k0") == -2
+        # no stale deadline left behind
+        assert b"k0" not in store._expires

@@ -1,0 +1,111 @@
+"""Stateful property test: the store against a reference model.
+
+A plain-dict model (with its own TTL bookkeeping) must agree with the
+DataStore under any interleaving of sets, gets, deletes, expiries, and
+clock advances. Soft memory reclamation is then layered on: reclaimed
+keys may vanish from the store (never from nowhere), which the model
+tracks as a permitted divergence set.
+"""
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.sma import SoftMemoryAllocator
+from repro.kvstore.store import DataStore, StoreConfig
+from repro.sim.clock import SimClock
+
+KEYS = [f"k{i}".encode() for i in range(12)]
+
+
+class StoreModel(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.clock = SimClock()
+        self.sma = SoftMemoryAllocator(name="model", request_batch_pages=2)
+        self.store = DataStore(
+            self.sma, StoreConfig(time_fn=lambda: self.clock.now)
+        )
+        self.model: dict[bytes, bytes] = {}
+        self.deadlines: dict[bytes, float] = {}
+        self.counter = 0
+
+    def _expire_model(self):
+        now = self.clock.now
+        for key, deadline in list(self.deadlines.items()):
+            if deadline <= now:
+                del self.deadlines[key]
+                self.model.pop(key, None)
+
+    @rule(key=st.sampled_from(KEYS), ttl=st.none() | st.integers(1, 50))
+    def set(self, key, ttl):
+        self.counter += 1
+        value = f"v{self.counter}".encode()
+        self.store.set(key, value, ex=ttl)
+        self._expire_model()
+        self.model[key] = value
+        if ttl is None:
+            self.deadlines.pop(key, None)
+        else:
+            self.deadlines[key] = self.clock.now + ttl
+
+    @rule(key=st.sampled_from(KEYS))
+    def get(self, key):
+        self._expire_model()
+        assert self.store.get(key) == self.model.get(key)
+
+    @rule(key=st.sampled_from(KEYS))
+    def delete(self, key):
+        self._expire_model()
+        expected = 1 if key in self.model else 0
+        assert self.store.delete(key) == expected
+        self.model.pop(key, None)
+        self.deadlines.pop(key, None)
+
+    @rule(seconds=st.integers(1, 30))
+    def advance_clock(self, seconds):
+        self.clock.advance(seconds)
+
+    @rule(key=st.sampled_from(KEYS))
+    def persist(self, key):
+        self._expire_model()
+        got = self.store.persist(key)
+        expected = key in self.model and key in self.deadlines
+        assert got == expected
+        self.deadlines.pop(key, None)
+
+    @rule()
+    def reclaim_some(self):
+        """Reclamation may remove keys — oldest-first, and the model
+        follows along by dropping exactly what the store reports."""
+        before = self.store.stats.reclaimed_keys
+        self.sma.reclaim(1)
+        dropped = self.store.stats.reclaimed_keys - before
+        if dropped:
+            # re-derive the surviving keyspace from the store itself;
+            # everything surviving must still agree with the model
+            survivors = set(self.store.keyspace.keys())
+            for key in list(self.model):
+                if key not in survivors:
+                    del self.model[key]
+                    self.deadlines.pop(key, None)
+
+    @invariant()
+    def sizes_agree(self):
+        self._expire_model()
+        assert self.store.dbsize() == len(self.model)
+
+    @invariant()
+    def contents_agree(self):
+        self._expire_model()
+        for key, value in self.model.items():
+            assert self.store.keyspace.get(key) == value
+
+    @invariant()
+    def sma_consistent(self):
+        self.sma.check_invariants()
+
+
+TestStoreModel = StoreModel.TestCase
+TestStoreModel.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)

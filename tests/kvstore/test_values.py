@@ -1,0 +1,51 @@
+"""Tests for typed-value helpers."""
+
+from collections import deque
+
+import pytest
+
+from repro.kvstore.values import (
+    WrongTypeError,
+    expect_type,
+    type_name,
+    value_bytes,
+)
+
+
+class TestTypeName:
+    def test_names(self):
+        assert type_name(b"x") == b"string"
+        assert type_name({b"f": b"v"}) == b"hash"
+        assert type_name(deque([b"x"])) == b"list"
+
+    def test_unsupported(self):
+        with pytest.raises(TypeError):
+            type_name(42)
+
+
+class TestValueBytes:
+    def test_string(self):
+        assert value_bytes(b"hello") == 5
+        assert value_bytes(b"") == 0
+
+    def test_hash(self):
+        assert value_bytes({b"ab": b"cde", b"f": b""}) == 6
+
+    def test_list(self):
+        assert value_bytes(deque([b"ab", b"c"])) == 3
+        assert value_bytes(deque()) == 0
+
+    def test_unsupported(self):
+        with pytest.raises(TypeError):
+            value_bytes(3.14)
+
+
+class TestExpectType:
+    def test_match_passes_through(self):
+        value = {b"f": b"v"}
+        assert expect_type(value, dict) is value
+
+    def test_mismatch_raises_wrongtype(self):
+        with pytest.raises(WrongTypeError) as exc:
+            expect_type(b"x", dict)
+        assert str(exc.value).startswith("WRONGTYPE")

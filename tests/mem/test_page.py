@@ -1,0 +1,84 @@
+"""Tests for page occupancy tracking."""
+
+import pytest
+
+from repro.mem.page import Page
+from repro.util.units import PAGE_SIZE
+
+
+class TestPage:
+    def test_fresh_page_is_free(self):
+        page = Page()
+        assert page.is_free
+        assert page.used_bytes == 0
+        assert page.free_bytes == PAGE_SIZE
+        assert page.live_allocs == 0
+
+    def test_unique_ids(self):
+        assert Page().page_id != Page().page_id
+
+    def test_place_tracks_allocs_and_bytes(self):
+        page = Page()
+        off = page.place(100)
+        assert off == 0
+        assert page.live_allocs == 1
+        assert page.used_bytes == 100
+        assert not page.is_free
+
+    def test_remove_returns_to_free(self):
+        page = Page()
+        off = page.place(100)
+        page.remove(off, 100)
+        assert page.is_free
+        assert page.used_bytes == 0
+
+    def test_place_when_full_returns_none(self):
+        page = Page()
+        page.place(PAGE_SIZE)
+        assert page.place(1) is None
+        assert page.live_allocs == 1  # failed place does not count
+
+    def test_two_kib_elements_two_per_page(self):
+        # The paper's section 3.1 example: 2 KiB list elements, two per page.
+        page = Page()
+        assert page.place(2048) is not None
+        assert page.place(2048) is not None
+        assert page.place(1) is None
+
+    def test_remove_without_allocs_rejected(self):
+        page = Page()
+        with pytest.raises(ValueError):
+            page.remove(0, 10)
+
+    def test_fits(self):
+        page = Page()
+        page.place(PAGE_SIZE - 10)
+        assert page.fits(10)
+        assert not page.fits(11)
+
+    def test_reset(self):
+        page = Page()
+        page.place(500)
+        page.reset()
+        assert page.is_free
+        assert page.free_bytes == PAGE_SIZE
+
+    def test_owner_tag(self):
+        page = Page(owner="heap:test")
+        assert page.owner == "heap:test"
+        assert "heap:test" in repr(page)
+
+    def test_invariants_on_fresh_and_used(self):
+        page = Page()
+        page.check_invariants()
+        off = page.place(64)
+        page.check_invariants()
+        page.remove(off, 64)
+        page.check_invariants()
+
+    def test_fragmentation_after_interior_free(self):
+        page = Page()
+        a = page.place(1024)
+        page.place(1024)
+        page.remove(a, 1024)
+        assert page.fragmentation() > 0.0

@@ -1,0 +1,157 @@
+"""Tests for the ML training cache use-case."""
+
+import pytest
+
+from repro.core.sma import SoftMemoryAllocator
+from repro.mlcache.cache import InformedCache
+from repro.mlcache.dataset import SyntheticDataset
+from repro.mlcache.trainer import TrainerConfig, TrainerSim
+from repro.util.units import KIB
+
+
+@pytest.fixture
+def dataset():
+    return SyntheticDataset(sample_count=500, sample_bytes=4 * KIB,
+                            fetch_cost=5e-3)
+
+
+@pytest.fixture
+def sma():
+    return SoftMemoryAllocator(name="ml-test", request_batch_pages=8)
+
+
+class TestDataset:
+    def test_total_bytes(self, dataset):
+        assert dataset.total_bytes == 500 * 4 * KIB
+
+    def test_payload_deterministic(self, dataset):
+        assert dataset.sample_payload(3) == dataset.sample_payload(3)
+
+    def test_payload_bounds(self, dataset):
+        with pytest.raises(IndexError):
+            dataset.sample_payload(500)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticDataset(sample_count=0)
+        with pytest.raises(ValueError):
+            SyntheticDataset(fetch_cost=-1)
+
+
+class TestInformedCache:
+    def test_first_epoch_all_misses_and_admission(self, sma, dataset):
+        cache = InformedCache(sma, dataset)
+        cache.start_epoch()
+        hits, fetches = cache.draw_batch(32)
+        assert hits == 0
+        assert fetches == 32
+        assert cache.cached_samples == 32
+
+    def test_substitutable_hits(self, sma, dataset):
+        """Quiver's property: ANY unused cached sample is a hit."""
+        cache = InformedCache(sma, dataset, target_fraction=1.0)
+        cache.start_epoch()
+        while sum(cache.draw_batch(50)) > 0:
+            pass
+        cache.start_epoch()
+        hits, fetches = cache.draw_batch(50)
+        assert hits == 50
+        assert fetches == 0
+
+    def test_epoch_uniqueness(self, sma, dataset):
+        """Each epoch consumes every sample exactly once."""
+        cache = InformedCache(sma, dataset)
+        cache.start_epoch()
+        consumed = 0
+        while True:
+            hits, fetches = cache.draw_batch(64)
+            if hits + fetches == 0:
+                break
+            consumed += hits + fetches
+        assert consumed == dataset.sample_count
+
+    def test_target_fraction_bounds_cache(self, sma, dataset):
+        cache = InformedCache(sma, dataset, target_fraction=0.2)
+        cache.start_epoch()
+        while sum(cache.draw_batch(50)) > 0:
+            pass
+        assert cache.cached_samples <= cache.target_samples
+
+    def test_partial_cache_hit_rate(self, sma, dataset):
+        cache = InformedCache(sma, dataset, target_fraction=0.5)
+        cache.start_epoch()
+        while sum(cache.draw_batch(50)) > 0:
+            pass
+        cache.hits = cache.misses = 0
+        cache.start_epoch()
+        while sum(cache.draw_batch(50)) > 0:
+            pass
+        assert 0.3 < cache.hit_rate < 0.7
+
+    def test_reclamation_prefers_consumed_samples(self, sma, dataset):
+        cache = InformedCache(sma, dataset, target_fraction=1.0)
+        cache.start_epoch()
+        cache.draw_batch(100)  # 100 consumed, all cached
+        consumed_before = set(cache._used_this_epoch)
+        assert cache.evict_one()
+        evicted = consumed_before - set(cache._cached)
+        assert len(evicted) == 1  # took a consumed sample
+
+    def test_reclamation_shrinks_cache(self, sma, dataset):
+        cache = InformedCache(sma, dataset)
+        cache.start_epoch()
+        while sum(cache.draw_batch(50)) > 0:
+            pass
+        before = cache.cached_samples
+        sma.reclaim(50)
+        assert cache.cached_samples < before
+
+    def test_validation(self, sma, dataset):
+        with pytest.raises(ValueError):
+            InformedCache(sma, dataset, target_fraction=0.0)
+        with pytest.raises(ValueError):
+            InformedCache(sma, dataset, target_fraction=1.5)
+
+
+class TestTrainerSim:
+    def test_throughput_increases_with_cache(self, dataset):
+        results = []
+        for fraction in (0.01, 0.5, 1.0):
+            sma = SoftMemoryAllocator(name=f"t{fraction}")
+            cache = InformedCache(sma, dataset, target_fraction=fraction)
+            trainer = TrainerSim(dataset, cache, TrainerConfig(epochs=2))
+            warm = trainer.run()[-1]
+            results.append(warm.throughput)
+        assert results[0] < results[1] < results[2]
+
+    def test_full_cache_warm_epoch_is_compute_bound(self, dataset):
+        sma = SoftMemoryAllocator(name="t")
+        cache = InformedCache(sma, dataset, target_fraction=1.0)
+        trainer = TrainerSim(dataset, cache, TrainerConfig(epochs=2))
+        warm = trainer.run()[-1]
+        assert warm.io_bound_steps == 0
+        assert warm.fetches == 0
+
+    def test_epoch_consumes_whole_dataset(self, dataset):
+        sma = SoftMemoryAllocator(name="t")
+        cache = InformedCache(sma, dataset, target_fraction=0.3)
+        trainer = TrainerSim(dataset, cache)
+        report = trainer.run_epoch()
+        assert report.hits + report.fetches == dataset.sample_count
+
+    def test_reclamation_mid_training_degrades_not_kills(self, dataset):
+        sma = SoftMemoryAllocator(name="t")
+        cache = InformedCache(sma, dataset, target_fraction=1.0)
+        trainer = TrainerSim(dataset, cache)
+        trainer.run_epoch(0)
+        warm = trainer.run_epoch(1)
+        sma.reclaim(sma.held_pages // 2)
+        cold = trainer.run_epoch(2)
+        assert cold.throughput < warm.throughput
+        assert cold.hits + cold.fetches == dataset.sample_count
+
+    def test_reports_accumulate(self, dataset):
+        sma = SoftMemoryAllocator(name="t")
+        cache = InformedCache(sma, dataset)
+        trainer = TrainerSim(dataset, cache, TrainerConfig(epochs=3))
+        assert len(trainer.run()) == 3

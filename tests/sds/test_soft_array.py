@@ -1,0 +1,121 @@
+"""Tests for SoftArray (all-at-once reclamation)."""
+
+import pytest
+
+from repro.core.errors import ReclaimedMemoryError
+from repro.core.pointer import DerefScope
+from repro.core.sma import SoftMemoryAllocator
+from repro.sds.soft_array import SoftArray
+from repro.util.units import PAGE_SIZE
+
+
+@pytest.fixture
+def sma():
+    return SoftMemoryAllocator(name="array-test", request_batch_pages=1)
+
+
+class TestArrayApi:
+    def test_basic_get_set(self, sma):
+        arr = SoftArray(sma, length=10)
+        arr[0] = "x"
+        arr[9] = "y"
+        assert arr[0] == "x"
+        assert arr[9] == "y"
+        assert arr[5] is None
+        assert len(arr) == 10
+
+    def test_negative_indexing(self, sma):
+        arr = SoftArray(sma, length=3)
+        arr[-1] = "last"
+        assert arr[2] == "last"
+
+    def test_out_of_range(self, sma):
+        arr = SoftArray(sma, length=3)
+        with pytest.raises(IndexError):
+            arr[3]
+        with pytest.raises(IndexError):
+            arr[-4] = 1
+
+    def test_fill(self, sma):
+        arr = SoftArray(sma, length=4)
+        arr.fill(7)
+        assert [arr[i] for i in range(4)] == [7, 7, 7, 7]
+
+    def test_contiguous_block_sizing(self, sma):
+        arr = SoftArray(sma, length=1024, slot_size=8)
+        # 8 KiB contiguous block -> 2 whole pages
+        assert arr.soft_pages == 2
+        assert arr.soft_bytes == 1024 * 8
+
+    def test_invalid_params(self, sma):
+        with pytest.raises(ValueError):
+            SoftArray(sma, length=0)
+        with pytest.raises(ValueError):
+            SoftArray(sma, length=1, slot_size=0)
+
+
+class TestReclamation:
+    def test_gives_up_everything(self, sma):
+        """Section 3.2: the soft array relinquishes its entire block."""
+        arr = SoftArray(sma, length=PAGE_SIZE // 8, slot_size=8)
+        arr.fill(1)
+        stats = sma.reclaim(1)
+        assert stats.pages_reclaimed == 1
+        assert not arr.valid
+
+    def test_access_after_reclaim_raises(self, sma):
+        arr = SoftArray(sma, length=4)
+        arr.evict_one()
+        with pytest.raises(ReclaimedMemoryError):
+            arr[0]
+        with pytest.raises(ReclaimedMemoryError):
+            arr[0] = 1
+
+    def test_get_with_default_after_reclaim(self, sma):
+        arr = SoftArray(sma, length=4)
+        arr[0] = "x"
+        arr.evict_one()
+        assert arr.get(0, "fallback") == "fallback"
+
+    def test_rebuild(self, sma):
+        arr = SoftArray(sma, length=4)
+        arr[0] = "x"
+        arr.evict_one()
+        arr.rebuild()
+        assert arr.valid
+        assert arr[0] is None  # content was dropped, not restored
+
+    def test_rebuild_noop_while_valid(self, sma):
+        arr = SoftArray(sma, length=4)
+        arr[0] = "x"
+        arr.rebuild()
+        assert arr[0] == "x"
+
+    def test_evict_once_only(self, sma):
+        arr = SoftArray(sma, length=4)
+        assert arr.evict_one()
+        assert not arr.evict_one()  # nothing left to give
+
+    def test_pinned_array_not_reclaimed(self, sma):
+        arr = SoftArray(sma, length=4)
+        arr[0] = "precious"
+        with DerefScope(arr._ptr):
+            assert not arr.evict_one()
+        assert arr[0] == "precious"
+
+    def test_callback_fires_with_slots(self, sma):
+        seen = []
+        arr = SoftArray(
+            sma, length=4, callback=lambda slots: seen.append(list(slots))
+        )
+        arr.fill(9)
+        arr.evict_one()
+        assert seen == [[9, 9, 9, 9]]
+
+    def test_multi_page_array_frees_all_pages(self, sma):
+        arr = SoftArray(sma, length=2048, slot_size=8)  # 4 pages
+        held = sma.held_pages
+        assert held == 4
+        stats = sma.reclaim(4)
+        assert stats.pages_reclaimed == 4
+        assert not arr.valid

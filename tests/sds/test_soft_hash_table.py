@@ -1,0 +1,122 @@
+"""Tests for SoftHashTable."""
+
+import pytest
+
+from repro.core.pointer import DerefScope
+from repro.core.sma import SoftMemoryAllocator
+from repro.sds.soft_hash_table import SoftHashTable
+
+
+@pytest.fixture
+def sma():
+    return SoftMemoryAllocator(name="table-test", request_batch_pages=1)
+
+
+class TestMappingApi:
+    def test_put_get(self, sma):
+        t = SoftHashTable(sma)
+        t.put("k", "v")
+        assert t.get("k") == "v"
+        assert "k" in t
+        assert len(t) == 1
+
+    def test_get_missing_default(self, sma):
+        t = SoftHashTable(sma)
+        assert t.get("nope") is None
+        assert t.get("nope", 0) == 0
+
+    def test_overwrite_frees_old_entry(self, sma):
+        t = SoftHashTable(sma, entry_size=2048)
+        t.put("k", "v1")
+        t.put("k", "v2")
+        assert t.get("k") == "v2"
+        assert len(t) == 1
+        assert t.soft_bytes == 2048  # old entry's bytes were freed
+
+    def test_delete(self, sma):
+        t = SoftHashTable(sma)
+        t.put("k", "v")
+        assert t.delete("k")
+        assert not t.delete("k")
+        assert "k" not in t
+
+    def test_items_and_iter(self, sma):
+        t = SoftHashTable(sma)
+        for i in range(5):
+            t.put(i, i * 10)
+        assert sorted(t) == [0, 1, 2, 3, 4]
+        assert dict(t.items()) == {i: i * 10 for i in range(5)}
+
+    def test_clear(self, sma):
+        t = SoftHashTable(sma)
+        for i in range(5):
+            t.put(i, i)
+        t.clear()
+        assert len(t) == 0
+        assert t.get(0) is None
+
+    def test_per_entry_size(self, sma):
+        t = SoftHashTable(sma, entry_size=64)
+        ptr = t.put("k", "v", size=1000)
+        assert ptr.size == 1000
+
+
+class TestReclamation:
+    def test_oldest_entries_evicted_first(self, sma):
+        t = SoftHashTable(sma, entry_size=2048)
+        for i in range(10):
+            t.put(i, i)
+        sma.reclaim(2)  # four entries die
+        assert all(i not in t for i in range(4))
+        assert all(i in t for i in range(4, 10))
+
+    def test_reclaimed_lookup_is_not_found(self, sma):
+        """The cache contract: reclaimed keys answer 'not found'."""
+        t = SoftHashTable(sma, entry_size=2048)
+        t.put("old", 1)
+        t.put("new", 2)
+        t.evict_one()
+        assert t.get("old") is None
+        assert t.reclaim_misses == 1
+
+    def test_reclaim_miss_counted_once_per_lookup(self, sma):
+        t = SoftHashTable(sma, entry_size=2048)
+        t.put("k", 1)
+        t.evict_one()
+        t.get("k")
+        t.get("k")
+        assert t.reclaim_misses == 2
+
+    def test_reinsert_after_eviction_clears_miss_tracking(self, sma):
+        t = SoftHashTable(sma, entry_size=2048)
+        t.put("k", 1)
+        t.evict_one()
+        t.put("k", 2)
+        assert t.get("k") == 2
+        t.delete("k")
+        t.get("k")
+        assert t.reclaim_misses == 0  # a normal delete is not a reclaim miss
+
+    def test_callback_gets_key_value_pair(self, sma):
+        seen = []
+        t = SoftHashTable(sma, callback=seen.append, entry_size=2048)
+        t.put("k", "v")
+        t.put("k2", "v2")
+        t.evict_one()
+        assert seen == [("k", "v")]
+
+    def test_pinned_entries_survive(self, sma):
+        t = SoftHashTable(sma, entry_size=2048)
+        precious = t.put("keep", 1)
+        t.put("victim", 2)
+        with DerefScope(precious):
+            t.evict_one()
+        assert "keep" in t
+        assert "victim" not in t
+
+    def test_evictions_counter(self, sma):
+        t = SoftHashTable(sma, entry_size=2048)
+        for i in range(6):
+            t.put(i, i)
+        sma.reclaim(1)
+        assert t.evictions == 2

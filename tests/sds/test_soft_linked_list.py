@@ -1,0 +1,141 @@
+"""Tests for SoftLinkedList (the paper's Listing 1 structure)."""
+
+import pytest
+
+from repro.core.pointer import DerefScope
+from repro.core.sma import SoftMemoryAllocator
+from repro.sds.soft_linked_list import SoftLinkedList
+
+
+@pytest.fixture
+def sma():
+    return SoftMemoryAllocator(name="list-test", request_batch_pages=1)
+
+
+class TestListApi:
+    def test_append_and_iterate(self, sma):
+        lst = SoftLinkedList(sma)
+        for i in range(5):
+            lst.append(i)
+        assert list(lst) == [0, 1, 2, 3, 4]
+        assert len(lst) == 5
+        assert bool(lst)
+
+    def test_pop_front(self, sma):
+        lst = SoftLinkedList(sma)
+        lst.append("a")
+        lst.append("b")
+        assert lst.pop_front() == "a"
+        assert list(lst) == ["b"]
+
+    def test_pop_back(self, sma):
+        lst = SoftLinkedList(sma)
+        lst.append("a")
+        lst.append("b")
+        assert lst.pop_back() == "b"
+        assert list(lst) == ["a"]
+
+    def test_pop_empty_raises(self, sma):
+        lst = SoftLinkedList(sma)
+        with pytest.raises(IndexError):
+            lst.pop_front()
+        with pytest.raises(IndexError):
+            lst.pop_back()
+
+    def test_pop_to_empty_and_refill(self, sma):
+        lst = SoftLinkedList(sma)
+        lst.append(1)
+        lst.pop_front()
+        assert len(lst) == 0
+        assert not lst
+        lst.append(2)
+        assert list(lst) == [2]
+
+    def test_pop_frees_soft_memory(self, sma):
+        lst = SoftLinkedList(sma, element_size=2048)
+        lst.append(1)
+        lst.append(2)
+        assert lst.soft_bytes == 4096
+        lst.pop_front()
+        assert lst.soft_bytes == 2048
+
+    def test_per_element_size_override(self, sma):
+        lst = SoftLinkedList(sma, element_size=64)
+        ptr = lst.append("big", size=2048)
+        assert ptr.size == 2048
+
+    def test_bad_element_size_rejected(self, sma):
+        with pytest.raises(ValueError):
+            SoftLinkedList(sma, element_size=0)
+
+
+class TestReclaimPolicy:
+    def test_oldest_first(self, sma):
+        lst = SoftLinkedList(sma, element_size=2048)
+        for i in range(10):
+            lst.append(i)
+        assert lst.evict_one()
+        assert list(lst) == [1, 2, 3, 4, 5, 6, 7, 8, 9]
+        assert lst.evictions == 1
+
+    def test_reclaim_sz_bytes(self, sma):
+        """Listing 1: size_t reclaim(size_t sz)."""
+        lst = SoftLinkedList(sma, element_size=2048)
+        for i in range(10):
+            lst.append(i)
+        freed = lst.reclaim(4096)
+        assert freed == 4096
+        assert list(lst)[0] == 2
+
+    def test_reclaim_more_than_held(self, sma):
+        lst = SoftLinkedList(sma, element_size=2048)
+        lst.append(1)
+        assert lst.reclaim(10_000) == 2048
+        assert len(lst) == 0
+
+    def test_callback_receives_payload(self, sma):
+        seen = []
+        lst = SoftLinkedList(sma, callback=seen.append, element_size=2048)
+        lst.append({"k": "v"})
+        lst.append("second")
+        lst.evict_one()
+        assert seen == [{"k": "v"}]
+
+    def test_pinned_elements_skipped(self, sma):
+        lst = SoftLinkedList(sma, element_size=2048)
+        first = lst.append("keep")
+        lst.append("victim")
+        with DerefScope(first):
+            assert lst.evict_one()
+        assert list(lst) == ["keep"]
+
+    def test_evict_exhausted_returns_false(self, sma):
+        lst = SoftLinkedList(sma)
+        assert not lst.evict_one()
+
+    def test_all_pinned_returns_false(self, sma):
+        lst = SoftLinkedList(sma)
+        ptr = lst.append(1)
+        with DerefScope(ptr):
+            assert not lst.evict_one()
+
+    def test_sma_reclaim_drives_list(self, sma):
+        """The paper's 3.1 example end-to-end: 12 KiB demand against a
+        list of 2 KiB elements frees the six oldest."""
+        lst = SoftLinkedList(sma, element_size=2048)
+        for i in range(100):
+            lst.append(i)
+        sma.reclaim(3)
+        assert len(lst) == 94
+        assert next(iter(lst)) == 6
+
+    def test_unlink_consistency_after_mixed_ops(self, sma):
+        lst = SoftLinkedList(sma, element_size=128)
+        for i in range(20):
+            lst.append(i)
+        lst.pop_front()
+        lst.pop_back()
+        lst.evict_one()
+        # survivors: 2..18 in order
+        assert list(lst) == list(range(2, 19))
+        assert len(lst) == 17

@@ -1,0 +1,99 @@
+"""Tests for SoftQueue."""
+
+import pytest
+
+from repro.core.pointer import DerefScope
+from repro.core.sma import SoftMemoryAllocator
+from repro.sds.soft_queue import SoftQueue
+
+
+@pytest.fixture
+def sma():
+    return SoftMemoryAllocator(name="queue-test", request_batch_pages=1)
+
+
+class TestQueueApi:
+    def test_fifo_order(self, sma):
+        q = SoftQueue(sma)
+        for i in range(3):
+            q.enqueue(i)
+        assert [q.dequeue() for _ in range(3)] == [0, 1, 2]
+
+    def test_len_and_bool(self, sma):
+        q = SoftQueue(sma)
+        assert not q
+        q.enqueue("x")
+        assert q and len(q) == 1
+
+    def test_dequeue_empty_raises(self, sma):
+        q = SoftQueue(sma)
+        with pytest.raises(IndexError):
+            q.dequeue()
+
+    def test_peek(self, sma):
+        q = SoftQueue(sma)
+        q.enqueue("first")
+        q.enqueue("second")
+        assert q.peek() == "first"
+        assert len(q) == 2  # peek does not consume
+
+    def test_peek_empty_raises(self, sma):
+        with pytest.raises(IndexError):
+            SoftQueue(sma).peek()
+
+    def test_dequeue_frees_memory(self, sma):
+        q = SoftQueue(sma, item_size=2048)
+        q.enqueue(1)
+        q.enqueue(2)
+        assert q.soft_bytes == 4096
+        q.dequeue()
+        assert q.soft_bytes == 2048
+
+
+class TestReclamation:
+    def test_oldest_items_dropped_first(self, sma):
+        q = SoftQueue(sma, item_size=2048)
+        for i in range(6):
+            q.enqueue(i)
+        q.evict_one()
+        assert q.dequeue() == 1
+        assert q.dropped == 1
+
+    def test_dequeue_skips_reclaimed(self, sma):
+        q = SoftQueue(sma, item_size=2048)
+        for i in range(4):
+            q.enqueue(i)
+        sma.reclaim(1)  # drops items 0 and 1
+        assert q.dequeue() == 2
+        assert len(q) == 1
+
+    def test_callback_for_dropped_items(self, sma):
+        dropped = []
+        q = SoftQueue(sma, callback=dropped.append, item_size=2048)
+        q.enqueue("req-1")
+        q.enqueue("req-2")
+        q.evict_one()
+        assert dropped == ["req-1"]  # app can re-submit it
+
+    def test_pinned_item_survives(self, sma):
+        q = SoftQueue(sma, item_size=2048)
+        first = q.enqueue("hold")
+        q.enqueue("victim")
+        with DerefScope(first):
+            q.evict_one()
+        assert q.dequeue() == "hold"
+
+    def test_reclaim_everything_then_reuse(self, sma):
+        q = SoftQueue(sma, item_size=2048)
+        for i in range(4):
+            q.enqueue(i)
+        while q.evict_one():
+            pass
+        assert len(q) == 0
+        with pytest.raises(IndexError):
+            q.dequeue()
+        q.enqueue("fresh")
+        assert q.dequeue() == "fresh"
+
+    def test_evict_on_empty_returns_false(self, sma):
+        assert not SoftQueue(sma).evict_one()

@@ -1,0 +1,51 @@
+"""Tests for the canonical shared scenarios."""
+
+import pytest
+
+from repro.sim.scenarios import Figure2Params, run_figure2
+from repro.util.units import MIB
+
+
+class TestFigure2Scenario:
+    @pytest.fixture(scope="class")
+    def small_result(self):
+        # scaled-down params keep the test fast while preserving shape
+        return run_figure2(Figure2Params(
+            keys=20_000,
+            soft_capacity_bytes=4 * MIB,
+            competitor_bytes=3 * MIB,
+        ))
+
+    def test_pressure_triggers_reclamation(self, small_result):
+        assert small_result.redis_gave_up_bytes > 0
+        assert small_result.reclaim_seconds > 0
+        assert small_result.callbacks_invoked > 0
+
+    def test_nobody_crashes(self, small_result):
+        assert small_result.redis_process.alive
+        assert small_result.other_process.alive
+        assert small_result.machine.smd.denials == 0
+
+    def test_competitor_got_its_memory(self, small_result):
+        assert small_result.other_process.soft_bytes == 3 * MIB
+
+    def test_store_consistency_after_event(self, small_result):
+        store = small_result.store
+        reclaimed = store.stats.reclaimed_keys
+        assert reclaimed > 0
+        assert store.dbsize() == 20_000 - reclaimed
+        small_result.redis_process.sma.check_invariants()
+
+    def test_footprints_sampled(self, small_result):
+        series = small_result.machine.footprint_series("redis")
+        assert len(series) == 3
+        assert series[-1][1] < series[0][1]
+
+    def test_pressure_time_configurable(self):
+        result = run_figure2(Figure2Params(
+            keys=5_000,
+            soft_capacity_bytes=2 * MIB,
+            competitor_bytes=int(1.8 * MIB),
+            pressure_at=3.0,
+        ))
+        assert abs(result.pressure_at - 3.0) < 0.05

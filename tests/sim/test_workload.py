@@ -1,0 +1,103 @@
+"""Tests for workload generators."""
+
+import pytest
+
+from repro.sim.workload import (
+    DiurnalLoad,
+    allocation_sizes,
+    mixed_sizes,
+    zipf_key_sampler,
+)
+from repro.util.units import KIB
+
+
+class TestAllocationSizes:
+    def test_fixed_sizes(self):
+        sizes = allocation_sizes(100, size=KIB)
+        assert len(sizes) == 100
+        assert all(s == KIB for s in sizes)
+
+    def test_jitter_bounds(self):
+        sizes = allocation_sizes(1000, size=KIB, jitter=0.5, seed=1)
+        assert all(512 <= s <= 1536 for s in sizes)
+        assert len(set(sizes)) > 1
+
+    def test_deterministic_by_seed(self):
+        a = allocation_sizes(50, jitter=0.3, seed=7)
+        b = allocation_sizes(50, jitter=0.3, seed=7)
+        assert a == b
+        c = allocation_sizes(50, jitter=0.3, seed=8)
+        assert a != c
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            allocation_sizes(-1)
+        with pytest.raises(ValueError):
+            allocation_sizes(1, jitter=1.0)
+
+    def test_zero_count(self):
+        assert allocation_sizes(0) == []
+
+
+class TestMixedSizes:
+    def test_bimodal(self):
+        sizes = mixed_sizes(1000, small=64, large=8192,
+                            large_fraction=0.1, seed=3)
+        assert set(sizes) == {64, 8192}
+        large_count = sum(1 for s in sizes if s == 8192)
+        assert 50 < large_count < 200  # ~10%
+
+    def test_mostly_small(self):
+        # "most allocations are small" [13]
+        sizes = mixed_sizes(1000, seed=0)
+        small = sum(1 for s in sizes if s == 64)
+        assert small > 900
+
+
+class TestZipf:
+    def test_skew(self):
+        sample = zipf_key_sampler(1000, seed=5)
+        draws = [sample() for _ in range(5000)]
+        top10 = sum(1 for d in draws if d < 10)
+        assert top10 / len(draws) > 0.2  # heavy head
+
+    def test_range(self):
+        sample = zipf_key_sampler(10, seed=1)
+        assert all(0 <= sample() < 10 for _ in range(1000))
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            zipf_key_sampler(0)
+
+
+class TestDiurnalLoad:
+    def test_trough_at_midnight(self):
+        load = DiurnalLoad(peak_rps=1000, trough_rps=100)
+        assert load.rate(0) == pytest.approx(100)
+
+    def test_peak_at_noon(self):
+        load = DiurnalLoad(peak_rps=1000, trough_rps=100)
+        assert load.rate(43200) == pytest.approx(1000)
+
+    def test_periodicity(self):
+        load = DiurnalLoad()
+        assert load.rate(1000) == pytest.approx(load.rate(1000 + 86400))
+
+    def test_is_trough(self):
+        load = DiurnalLoad(peak_rps=1000, trough_rps=100)
+        assert load.is_trough(0)
+        assert not load.is_trough(43200)
+
+    def test_ticks(self):
+        load = DiurnalLoad()
+        points = list(load.ticks(duration=3600, step=600))
+        assert len(points) == 6
+        assert points[0][0] == 0.0
+        assert all(
+            load.trough_rps <= r <= load.peak_rps for _, r in points
+        )
+
+    def test_rate_bounded_everywhere(self):
+        load = DiurnalLoad(peak_rps=500, trough_rps=50)
+        for t in range(0, 86400, 1800):
+            assert 50 - 1e-9 <= load.rate(t) <= 500 + 1e-9

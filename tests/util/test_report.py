@@ -1,0 +1,61 @@
+"""Tests for the text report tooling."""
+
+from repro.sds.soft_linked_list import SoftLinkedList
+from repro.sim.machine import Machine, MachineConfig
+from repro.tools import machine_report, sma_report, smd_report
+from repro.util.units import PAGE_SIZE
+
+
+class TestSmaReport:
+    def test_contains_ledgers_and_contexts(self, sma):
+        lst = SoftLinkedList(sma, name="my-cache", element_size=2048)
+        for i in range(4):
+            lst.append(i)
+        text = sma_report(sma)
+        assert "SMA 'test-proc'" in text
+        assert "my-cache" in text
+        assert "2 pages held" in text or "/64 pages held" in text
+        assert "4 allocations" in text
+
+    def test_empty_sma(self, sma):
+        text = sma_report(sma)
+        assert "budget" in text
+        assert "0 allocations" in text
+
+
+class TestSmdReport:
+    def test_contains_capacity_and_processes(self, smd, sma):
+        smd.register(sma, traditional_pages=7)
+        lst = SoftLinkedList(sma, element_size=PAGE_SIZE)
+        lst.append(1)
+        text = smd_report(smd)
+        assert "Soft Memory Daemon" in text
+        assert "test-proc" in text
+        assert "capacity : 5120 pages" in text
+        assert "pressure" in text
+
+    def test_empty_daemon(self, smd):
+        text = smd_report(smd)
+        assert "0 requests" in text
+
+
+class TestMachineReport:
+    def test_full_machine(self):
+        machine = Machine(MachineConfig())
+        proc = machine.spawn("svc", traditional_pages=10)
+        lst = SoftLinkedList(proc.sma, element_size=2048)
+        lst.append(1)
+        text = machine_report(machine)
+        assert "Machine @ t=" in text
+        assert "frames" in text
+        assert "svc" in text
+        assert "Soft Memory Daemon" in text
+
+    def test_dead_processes_omitted(self):
+        machine = Machine(MachineConfig())
+        victim = machine.spawn("victim")
+        machine.spawn("survivor")
+        victim.kill()
+        text = machine_report(machine)
+        assert "survivor" in text
+        assert "SMA 'victim'" not in text

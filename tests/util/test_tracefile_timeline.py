@@ -1,0 +1,102 @@
+"""Tests for trace persistence and timeline rendering."""
+
+import pytest
+
+from repro.sds.soft_linked_list import SoftLinkedList
+from repro.sim.machine import Machine, MachineConfig
+from repro.tools.timeline import render_timeline
+from repro.util.eventlog import EventLog
+from repro.util.tracefile import dump_events, load_events
+from repro.util.units import MIB, PAGE_SIZE
+
+
+class TestTraceFile:
+    def test_roundtrip(self, tmp_path):
+        log = EventLog()
+        log.record(0.0, "request", pid=1, pages=10)
+        log.record(1.5, "grant", pid=1, pages=10)
+        path = tmp_path / "trace.jsonl"
+        assert dump_events(log, path) == 2
+        loaded = load_events(path)
+        assert len(loaded) == 2
+        assert loaded[0].kind == "request"
+        assert loaded[0].detail == {"pid": 1, "pages": 10}
+        assert loaded[1].time == 1.5
+
+    def test_empty_log(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert dump_events(EventLog(), path) == 0
+        assert len(load_events(path)) == 0
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"t": 0, "kind": "a"}\n\n{"t": 1, "kind": "b"}\n')
+        assert len(load_events(path)) == 2
+
+    def test_malformed_line_reported_with_position(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"t": 0, "kind": "ok"}\nnot json\n')
+        with pytest.raises(ValueError, match=":2"):
+            load_events(path)
+
+    def test_missing_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"t": 0}\n')
+        with pytest.raises(ValueError):
+            load_events(path)
+
+    def test_non_json_detail_coerced(self, tmp_path):
+        """Lists and arbitrary objects in event details must serialize."""
+        log = EventLog()
+        log.record(0.0, "reclaim.start", targets=[1, 2, 3])
+        path = tmp_path / "trace.jsonl"
+        dump_events(log, path)
+        loaded = load_events(path)
+        assert loaded[0].detail["targets"] == [1, 2, 3]
+
+    def test_machine_log_roundtrip(self, tmp_path):
+        machine = Machine(MachineConfig())
+        proc = machine.spawn("svc", traditional_pages=10)
+        lst = SoftLinkedList(proc.sma, element_size=PAGE_SIZE)
+        for i in range(50):
+            lst.append(i)
+        machine.sample_footprints()
+        path = tmp_path / "machine.jsonl"
+        dump_events(machine.log, path)
+        loaded = load_events(path)
+        assert len(loaded) == len(machine.log)
+        assert loaded.last("footprint").detail["svc"] == proc.footprint_bytes
+
+
+class TestTimelineRendering:
+    def make_log(self):
+        log = EventLog()
+        log.record(0.0, "footprint", redis=int(10 * MIB), other=0)
+        log.record(10.0, "footprint", redis=int(10 * MIB), other=0)
+        log.record(14.0, "footprint", redis=int(8 * MIB),
+                   other=int(12 * MIB))
+        return log
+
+    def test_shape_visible(self):
+        text = render_timeline(self.make_log(), ["redis", "other"])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header + three samples
+        assert "redis" in lines[0] and "other" in lines[0]
+        # the bar shrinks for redis and grows for other
+        first, last = lines[1], lines[3]
+        assert first.count("#") > 0
+        assert last.split()[0] == "14.00"
+
+    def test_values_in_mib(self):
+        text = render_timeline(self.make_log(), ["redis"])
+        assert "10.00" in text
+        assert "8.00" in text
+
+    def test_missing_process_renders_zero(self):
+        log = EventLog()
+        log.record(0.0, "footprint", a=MIB)
+        text = render_timeline(log, ["a", "ghost"])
+        assert "0.00" in text
+
+    def test_empty_log(self):
+        assert render_timeline(EventLog(), ["x"]) == "(no samples)"

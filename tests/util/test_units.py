@@ -1,0 +1,107 @@
+"""Tests for size units and page arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.units import (
+    GIB,
+    KIB,
+    MIB,
+    PAGE_SIZE,
+    bytes_to_pages,
+    format_bytes,
+    pages_to_bytes,
+    parse_size,
+)
+
+
+class TestParseSize:
+    def test_plain_integer_passthrough(self):
+        assert parse_size(512) == 512
+
+    def test_zero(self):
+        assert parse_size(0) == 0
+
+    def test_negative_integer_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1 KiB", KIB),
+            ("2kib", 2 * KIB),
+            ("10 MiB", 10 * MIB),
+            ("1GiB", GIB),
+            ("3 pages", 3 * PAGE_SIZE),
+            ("1 page", PAGE_SIZE),
+            ("100", 100),
+            ("100b", 100),
+            ("4k", 4 * KIB),
+            ("2m", 2 * MIB),
+            ("0.5 KiB", 512),
+        ],
+    )
+    def test_parsing(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_fractional_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("0.3 KiB")  # 307.2 bytes
+
+    @pytest.mark.parametrize("bad", ["", "xyz", "12 q", "KiB", "- 5"])
+    def test_garbage_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)
+
+
+class TestPageArithmetic:
+    def test_zero_bytes_is_zero_pages(self):
+        assert bytes_to_pages(0) == 0
+
+    def test_one_byte_needs_one_page(self):
+        assert bytes_to_pages(1) == 1
+
+    def test_exact_page(self):
+        assert bytes_to_pages(PAGE_SIZE) == 1
+
+    def test_page_plus_one(self):
+        assert bytes_to_pages(PAGE_SIZE + 1) == 2
+
+    def test_round_trip_is_cover(self):
+        # pages_to_bytes(bytes_to_pages(n)) >= n always (covering round-up)
+        for n in (0, 1, 4095, 4096, 4097, 10**6):
+            assert pages_to_bytes(bytes_to_pages(n)) >= n
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_to_pages(-1)
+        with pytest.raises(ValueError):
+            pages_to_bytes(-1)
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_cover_property(self, n):
+        pages = bytes_to_pages(n)
+        assert pages_to_bytes(pages) >= n
+        assert pages_to_bytes(pages) - n < PAGE_SIZE
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        "size,expected",
+        [
+            (0, "0 B"),
+            (512, "512 B"),
+            (KIB, "1.0 KiB"),
+            (10 * MIB, "10.0 MiB"),
+            (int(2.5 * GIB), "2.5 GiB"),
+        ],
+    )
+    def test_formatting(self, size, expected):
+        assert format_bytes(size) == expected
+
+    def test_negative(self):
+        assert format_bytes(-KIB) == "-1.0 KiB"
+
+    def test_parse_format_consistency(self):
+        assert parse_size(format_bytes(10 * MIB)) == 10 * MIB
