@@ -25,6 +25,44 @@ class SoftMemoryDenied(SoftMemoryError):
         )
 
 
+class DaemonUnreachable(SoftMemoryError):
+    """The daemon connection is down — a transport failure, not policy.
+
+    Raised by the RPC layer when a round-trip cannot complete (socket
+    closed, retries exhausted, heartbeat silence). The agent converts
+    it into a degraded-mode transition; application code normally sees
+    :class:`SoftMemoryDegraded` instead.
+    """
+
+    def __init__(self, op: str = "", detail: str = "") -> None:
+        self.op = op
+        self.detail = detail
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(
+            f"daemon unreachable while sending {op or 'a frame'}{suffix}"
+        )
+
+
+class SoftMemoryDegraded(SoftMemoryDenied):
+    """Denied locally: the SMA is degraded (daemon unreachable).
+
+    Subclasses :class:`SoftMemoryDenied` so existing handlers keep
+    working — soft memory is best-effort either way — while staying
+    distinguishable from a real policy denial: no reclamation ran, no
+    daemon was consulted, and the condition clears on reconnect.
+    """
+
+    def __init__(self, pid: int, requested_pages: int) -> None:
+        self.pid = pid
+        self.requested_pages = requested_pages
+        self.reclaimed = 0
+        Exception.__init__(
+            self,
+            f"process {pid}: request for {requested_pages} page(s) denied "
+            "locally: daemon unreachable (degraded mode)",
+        )
+
+
 class ReclaimedMemoryError(SoftMemoryError):
     """A soft pointer was dereferenced after its allocation was reclaimed.
 

@@ -23,7 +23,11 @@ from typing import TYPE_CHECKING, Any, Protocol
 
 from repro.core.budget import BudgetLedger
 from repro.core.context import PlacerFactory, ReclaimCallback, SdsContext
-from repro.core.errors import ProtocolError, SoftMemoryDenied
+from repro.core.errors import (
+    ProtocolError,
+    SoftMemoryDegraded,
+    SoftMemoryDenied,
+)
 from repro.core.freepool import FreePool
 from repro.core.groups import GroupRegistry
 from repro.core.pointer import Allocation, SoftPtr
@@ -79,6 +83,7 @@ class SmaStats:
         "pages_released",
         "pages_rebacked",
         "reclamations",
+        "degraded_denials",
     )
 
     def __init__(self) -> None:
@@ -91,6 +96,8 @@ class SmaStats:
         self.pages_released = 0
         self.pages_rebacked = 0
         self.reclamations = 0
+        #: budget asks refused locally while the daemon was unreachable
+        self.degraded_denials = 0
 
 
 class SoftMemoryAllocator:
@@ -145,6 +152,8 @@ class SoftMemoryAllocator:
         self.stats = SmaStats()
         self._active_stats: ReclamationStats | None = None
         self.last_reclamation: ReclamationStats | None = None
+        #: local-only degraded mode: daemon unreachable, no new grants
+        self._degraded = False
 
     def connect_daemon(self, client: DaemonClient) -> None:
         """Attach (or replace) the daemon connection.
@@ -157,6 +166,29 @@ class SoftMemoryAllocator:
                 "cannot swap daemon connection after allocating soft memory"
             )
         self._daemon = client
+
+    # ------------------------------------------------------------------
+    # degraded mode (daemon unreachable)
+    # ------------------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True while the daemon is unreachable (local-only mode)."""
+        return self._degraded
+
+    def mark_degraded(self, degraded: bool) -> None:
+        """Flip local-only degraded mode.
+
+        Called by the RPC agent on connection loss/reconnect. While
+        degraded, existing soft memory stays fully usable (budget
+        headroom and pooled pages included) but asks that would need a
+        new daemon grant fail fast with
+        :class:`~repro.core.errors.SoftMemoryDegraded` instead of
+        touching the dead connection. Deliberately lock-free — the
+        transition may happen while an application thread holds the
+        allocator lock blocked on the daemon.
+        """
+        self._degraded = bool(degraded)
 
     # ------------------------------------------------------------------
     # contexts
@@ -256,6 +288,9 @@ class SoftMemoryAllocator:
         missing = pages - self.budget.headroom
         if missing <= 0:
             return
+        if self._degraded:
+            self.stats.degraded_denials += 1
+            raise SoftMemoryDegraded(0, missing)
         ask = max(missing, self._request_batch)
         self.stats.daemon_requests += 1
         try:
@@ -295,6 +330,9 @@ class SoftMemoryAllocator:
         """
         if pages <= 0:
             raise ValueError(f"reservation must be positive: {pages}")
+        if self._degraded:
+            self.stats.degraded_denials += 1
+            raise SoftMemoryDegraded(0, pages)
         self.stats.daemon_requests += 1
         granted = self._daemon.request(pages)
         self.budget.grant(granted)

@@ -41,6 +41,8 @@ class ProcessRecord:
         self.requests_denied = 0
         self.demands_received = 0
         self.pages_reclaimed_from = 0
+        #: ledger resyncs after a reconnect (cross-process transport)
+        self.resyncs = 0
 
     @property
     def soft_pages(self) -> int:

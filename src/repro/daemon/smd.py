@@ -151,6 +151,28 @@ class SoftMemoryDaemon:
         )
         return surrendered
 
+    def adopt_granted(self, pid: int, pages: int) -> None:
+        """Resync: adopt a reconnected process's reported budget ledger.
+
+        After a daemon restart or a disconnect window the client's
+        local ledger is the only surviving truth. Adopting it may
+        transiently oversubscribe capacity (``unassigned_pages`` goes
+        negative); subsequent request episodes reclaim the machine back
+        under its cap, so the invariant is restored by pressure rather
+        than by failing the reconnect.
+        """
+        if pages < 0:
+            raise ValueError(f"granted pages must be non-negative: {pages}")
+        record = self.registry.get(pid)
+        record.granted_pages = pages
+        self.log.record(
+            self._time_fn(),
+            "resync",
+            pid=pid,
+            granted=pages,
+            over_capacity=max(0, self.assigned_pages - self.capacity_pages),
+        )
+
     def issue_demand(self, pid: int, pages: int) -> int:
         """Issue a full reclamation demand outside a request episode.
 

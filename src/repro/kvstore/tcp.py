@@ -92,6 +92,11 @@ class TcpKvServer:
                 name=f"kv-conn-{self.connections_served}",
                 daemon=True,
             )
+            # prune finished workers so a long-lived server under
+            # connection churn does not accumulate dead thread objects
+            self._conn_threads = [
+                t for t in self._conn_threads if t.is_alive()
+            ]
             self._conn_threads.append(thread)
             thread.start()
 
@@ -117,30 +122,61 @@ class TcpKvServer:
 
 
 class TcpKvClient:
-    """Blocking RESP client over a real socket."""
+    """Blocking RESP client over a real socket.
+
+    Replies are consumed strictly in FIFO order through an internal
+    queue: when one ``recv`` delivers several parsed replies (batched
+    or pipelined), the extras are kept for the following calls instead
+    of being discarded — the client can never desync from the server.
+    """
 
     def __init__(self, address: tuple[str, int], timeout: float = 5.0) -> None:
+        from collections import deque
+
         from repro.kvstore.resp import RespParser
 
         self._sock = socket.create_connection(address, timeout=timeout)
         self._parser = RespParser()
+        self._replies: "deque[object]" = deque()
 
     def execute(self, *args: object) -> object:
         """Send one command, block for its reply."""
-        from repro.kvstore.resp import RespError, encode_command
+        from repro.kvstore.resp import encode_command
 
         self._sock.sendall(encode_command(*args))
-        while True:
-            replies = self._parser.parse_all()
-            if replies:
-                reply = replies[0]
-                if isinstance(reply, RespError):
-                    raise reply
-                return reply
+        return self._next_reply()
+
+    def execute_pipeline(self, *commands: tuple) -> list[object]:
+        """Send several commands in one write, collect all replies.
+
+        RESP errors are returned in-place (not raised), like real
+        pipelined clients do — one failed command must not discard the
+        replies that follow it.
+        """
+        from repro.kvstore.resp import RespError, encode_command
+
+        if not commands:
+            return []
+        self._sock.sendall(
+            b"".join(encode_command(*command) for command in commands)
+        )
+        return [self._next_reply(raise_errors=False) for _ in commands]
+
+    def _next_reply(self, *, raise_errors: bool = True) -> object:
+        from repro.kvstore.resp import RespError
+
+        while not self._replies:
+            self._replies.extend(self._parser.parse_all())
+            if self._replies:
+                break
             data = self._sock.recv(65536)
             if not data:
                 raise ConnectionError("server closed the connection")
             self._parser.feed(data)
+        reply = self._replies.popleft()
+        if raise_errors and isinstance(reply, RespError):
+            raise reply
+        return reply
 
     def close(self) -> None:
         self._sock.close()

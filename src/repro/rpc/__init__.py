@@ -21,7 +21,19 @@ paper's prototype too.
 """
 
 from repro.rpc.agent import SmaAgent
+from repro.rpc.config import ReplyCache, RetryPolicy, RpcConfig
+from repro.rpc.faults import FaultInjector, FaultPlan, FaultyStream
 from repro.rpc.framing import FrameStream
 from repro.rpc.server import RpcDaemonServer
 
-__all__ = ["FrameStream", "RpcDaemonServer", "SmaAgent"]
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyStream",
+    "FrameStream",
+    "ReplyCache",
+    "RetryPolicy",
+    "RpcConfig",
+    "RpcDaemonServer",
+    "SmaAgent",
+]

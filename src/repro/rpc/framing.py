@@ -18,11 +18,23 @@ class FrameClosed(ConnectionError):
 
 
 class FrameStream:
-    """Blocking frame reader/writer over a connected socket."""
+    """Blocking frame reader/writer over a connected socket.
 
-    def __init__(self, sock: socket.socket) -> None:
+    ``max_frame_bytes`` bounds the receive buffer: a peer that streams
+    garbage without a newline is detected instead of growing the buffer
+    without limit (protocol frames are a few hundred bytes).
+    """
+
+    def __init__(
+        self, sock: socket.socket, *, max_frame_bytes: int = 1 << 20
+    ) -> None:
+        if max_frame_bytes < 2:
+            raise ValueError(
+                f"max_frame_bytes too small: {max_frame_bytes}"
+            )
         self._sock = sock
         self._buffer = bytearray()
+        self._max_frame_bytes = max_frame_bytes
 
     def send(self, frame: dict[str, Any]) -> None:
         """Serialize and send one frame (thread-safe per sendall)."""
@@ -32,8 +44,9 @@ class FrameStream:
     def recv(self) -> dict[str, Any]:
         """Block until one complete frame arrives.
 
-        Raises :class:`FrameClosed` on EOF and ``ValueError`` on
-        malformed frames; honours the socket's timeout settings
+        Raises :class:`FrameClosed` on EOF (including EOF with a
+        partial frame buffered) and ``ValueError`` on malformed or
+        oversized frames; honours the socket's timeout settings
         (``socket.timeout`` propagates).
         """
         while True:
@@ -45,10 +58,24 @@ class FrameStream:
                 if not isinstance(frame, dict):
                     raise ValueError(f"frame is not an object: {frame!r}")
                 return frame
+            if len(self._buffer) > self._max_frame_bytes:
+                raise ValueError(
+                    f"frame exceeds {self._max_frame_bytes} bytes "
+                    "without a terminator"
+                )
             chunk = self._sock.recv(65536)
             if not chunk:
+                if self._buffer:
+                    raise FrameClosed(
+                        "peer closed mid-frame "
+                        f"({len(self._buffer)} bytes buffered)"
+                    )
                 raise FrameClosed("peer closed the connection")
             self._buffer.extend(chunk)
+
+    def settimeout(self, timeout: float | None) -> None:
+        """Adjust the underlying socket's timeout (None = blocking)."""
+        self._sock.settimeout(timeout)
 
     def close(self) -> None:
         try:

@@ -12,6 +12,18 @@ waits its turn) and a *handler* that executes requests against the
 daemon under a global lock (episodes from different clients must
 serialize — there is one capacity ledger).
 
+Fault tolerance (see ``docs/PROTOCOL.md``):
+
+* requests and releases are idempotent per frame id — a retried or
+  duplicated frame gets the cached reply, never a second grant;
+* PING frames are answered with PONG directly on the reader thread, so
+  liveness is visible even while the handler is busy; a client that
+  pinged once and then went silent past ``heartbeat_timeout`` is
+  reaped by the server's monitor thread;
+* a reconnecting client sends ``hello`` with ``resync``: the daemon
+  re-adopts as much of its still-held budget as free capacity allows
+  and the follow-up ``resync`` frame settles the final ledger.
+
 Liveness: a client with an in-flight request advertises zero
 reclaimable pages, so episodes triggered by other clients skip it —
 the demand that could deadlock against its blocked application thread
@@ -26,6 +38,7 @@ import os
 import queue
 import socket
 import threading
+import time
 from typing import Any
 
 from repro.core.errors import SoftMemoryDenied
@@ -33,9 +46,8 @@ from repro.core.reclaim import ReclamationStats
 from repro.daemon.ipc import Channel
 from repro.daemon.registry import ProcessRecord
 from repro.daemon.smd import SmdConfig, SoftMemoryDaemon
+from repro.rpc.config import DEFAULT_RPC_CONFIG, ReplyCache, RpcConfig
 from repro.rpc.framing import FrameClosed, FrameStream
-
-DEMAND_TIMEOUT = 5.0
 
 
 class _RemoteBudget:
@@ -98,6 +110,7 @@ class _Connection:
 
     def __init__(self, server: "RpcDaemonServer", sock: socket.socket) -> None:
         self.server = server
+        self.config = server.rpc_config
         self.stream = FrameStream(sock)
         self.proxy = _RemoteSma(self)
         self.record: ProcessRecord | None = None
@@ -105,7 +118,11 @@ class _Connection:
         self._inbox: "queue.Queue[dict | None]" = queue.Queue()
         self._demand_replies: dict[int, dict[str, Any]] = {}
         self._demand_events: dict[int, threading.Event] = {}
+        self._demand_lock = threading.Lock()  # guards the two dicts
         self._demand_ids = iter(range(1, 2**31))
+        self.reply_cache = ReplyCache(64)
+        self.last_recv = time.monotonic()
+        self.saw_ping = False
         self._closed = threading.Event()
         self.reader = threading.Thread(
             target=self._reader_loop, daemon=True
@@ -116,24 +133,42 @@ class _Connection:
         self.reader.start()
         self.handler.start()
 
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
     def send(self, frame: dict[str, Any]) -> None:
         with self._send_lock:
             self.stream.send(frame)
+
+    def reply(self, request_id: Any, frame: dict[str, Any]) -> None:
+        """Send a reply and remember it for duplicate-id resends."""
+        if request_id is not None:
+            self.reply_cache.put(request_id, frame)
+        self.send(frame)
 
     def demand(self, pages: int) -> dict[str, Any] | None:
         """Send DEMAND, wait for REPORT (None on timeout/disconnect)."""
         demand_id = next(self._demand_ids)
         event = threading.Event()
-        self._demand_events[demand_id] = event
+        with self._demand_lock:
+            self._demand_events[demand_id] = event
         try:
             self.send({"op": "demand", "id": demand_id, "pages": pages})
         except OSError:
-            self._demand_events.pop(demand_id, None)
+            with self._demand_lock:
+                self._demand_events.pop(demand_id, None)
             return None
-        if not event.wait(timeout=DEMAND_TIMEOUT):
+        answered = event.wait(timeout=self.config.demand_timeout)
+        # Pop both maps under one lock: if the REPORT lands between the
+        # wait timing out and this cleanup, we still consume (and use)
+        # it instead of stranding the reply dict entry forever.
+        with self._demand_lock:
             self._demand_events.pop(demand_id, None)
+            reply = self._demand_replies.pop(demand_id, None)
+        if not answered and reply is None:
             return None
-        return self._demand_replies.pop(demand_id, None)
+        return reply
 
     # -- threads -------------------------------------------------------
 
@@ -143,12 +178,26 @@ class _Connection:
                 frame = self.stream.recv()
             except (FrameClosed, OSError, ValueError):
                 break
+            self.last_recv = time.monotonic()
             op = frame.get("op")
-            if op == "report":
+            if op == "ping":
+                # answered on the reader thread so liveness is visible
+                # even while the handler executes a slow episode
+                self.saw_ping = True
+                try:
+                    self.send({"op": "pong", "t": frame.get("t")})
+                except OSError:
+                    break
+            elif op == "pong":
+                pass  # any frame already refreshed last_recv
+            elif op == "report":
                 demand_id = frame.get("id")
-                event = self._demand_events.pop(demand_id, None)
+                with self._demand_lock:
+                    event = self._demand_events.pop(demand_id, None)
+                    if event is not None:
+                        self._demand_replies[demand_id] = frame
+                    # no waiter: the demand timed out — drop the report
                 if event is not None:
-                    self._demand_replies[demand_id] = frame
                     event.set()
             else:
                 if op in ("request", "release"):
@@ -185,12 +234,17 @@ class RpcDaemonServer:
         socket_path: str,
         soft_capacity_pages: int,
         config: SmdConfig | None = None,
+        *,
+        rpc_config: RpcConfig | None = None,
     ) -> None:
         self.socket_path = socket_path
         self.smd = SoftMemoryDaemon(soft_capacity_pages, config=config)
+        self.rpc_config = rpc_config or DEFAULT_RPC_CONFIG
         self._lock = threading.Lock()  # serializes daemon state changes
         self._connections: list[_Connection] = []
+        self._conn_lock = threading.Lock()
         self._stop = threading.Event()
+        self.clients_reaped = 0
         if os.path.exists(socket_path):
             os.unlink(socket_path)
         self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
@@ -198,20 +252,27 @@ class RpcDaemonServer:
         self._listener.listen(16)
         self._listener.settimeout(0.2)
         self._accept_thread: threading.Thread | None = None
+        self._monitor_thread: threading.Thread | None = None
 
     def start(self) -> "RpcDaemonServer":
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="smd-accept", daemon=True
         )
         self._accept_thread.start()
+        self._monitor_thread = threading.Thread(
+            target=self._monitor_loop, name="smd-monitor", daemon=True
+        )
+        self._monitor_thread.start()
         return self
 
     def stop(self) -> None:
         self._stop.set()
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5)
+        if self._monitor_thread is not None:
+            self._monitor_thread.join(timeout=5)
         self._listener.close()
-        for connection in list(self._connections):
+        for connection in self.connections():
             connection.stream.close()
         if os.path.exists(self.socket_path):
             os.unlink(self.socket_path)
@@ -222,6 +283,10 @@ class RpcDaemonServer:
     def __exit__(self, *exc_info: object) -> None:
         self.stop()
 
+    def connections(self) -> list[_Connection]:
+        with self._conn_lock:
+            return list(self._connections)
+
     def _accept_loop(self) -> None:
         while not self._stop.is_set():
             try:
@@ -230,7 +295,33 @@ class RpcDaemonServer:
                 continue
             except OSError:
                 break
-            self._connections.append(_Connection(self, sock))
+            connection = _Connection(self, sock)
+            with self._conn_lock:
+                # prune connections whose teardown already completed so
+                # the list cannot grow without bound under churn
+                self._connections = [
+                    c for c in self._connections if not c.closed
+                ]
+                self._connections.append(connection)
+
+    def _monitor_loop(self) -> None:
+        """Reap clients that heartbeated once and then went silent."""
+        timeout = self.rpc_config.heartbeat_timeout
+        interval = min(0.5, timeout / 2) if timeout > 0 else 0.5
+        while not self._stop.is_set():
+            if self._stop.wait(interval):
+                break
+            if timeout <= 0:
+                continue
+            now = time.monotonic()
+            for connection in self.connections():
+                if not connection.saw_ping:
+                    continue  # client never opted into heartbeats
+                if now - connection.last_recv > timeout:
+                    self.clients_reaped += 1
+                    # closing the socket unwinds reader → handler →
+                    # disconnect, returning the budget to the pool
+                    connection.stream.close()
 
     # ------------------------------------------------------------------
     # frame handling (runs on per-connection handler threads)
@@ -239,17 +330,29 @@ class RpcDaemonServer:
     def handle_frame(self, connection: _Connection, frame: dict) -> None:
         op = frame.get("op")
         connection.proxy.update_state(frame)
+        if op in ("request", "release"):
+            cached = connection.reply_cache.get(frame.get("id"))
+            if cached is not None:
+                # retry or injected duplicate of an already-executed
+                # operation: resend the recorded outcome, don't re-run
+                connection.send(cached)
+                return
         if op == "hello":
             self._handle_hello(connection, frame)
         elif op == "request":
             self._handle_request(connection, frame)
         elif op == "release":
             self._handle_release(connection, frame)
+        elif op == "resync":
+            self._handle_resync(connection, frame)
         else:
             connection.send({"op": "error", "id": frame.get("id"),
                              "message": f"unknown op {op!r}"})
 
     def _handle_hello(self, connection: _Connection, frame: dict) -> None:
+        resync = bool(frame.get("resync"))
+        claim = int(frame.get("granted", 0)) if resync else 0
+        startup = accepted = 0
         with self._lock:
             record = ProcessRecord(
                 name=str(frame.get("name", "client")),
@@ -258,14 +361,22 @@ class RpcDaemonServer:
                 traditional_pages=int(frame.get("traditional_pages", 0)),
             )
             self.smd.registry.add(record)
-            startup = min(
-                self.smd.config.startup_budget_pages,
-                self.smd.unassigned_pages,
-            )
-            record.granted_pages += startup
+            if resync:
+                # re-adopt what free capacity allows; the client sheds
+                # any overdraft and settles with a follow-up resync frame
+                accepted = min(claim, max(0, self.smd.unassigned_pages))
+                record.granted_pages += accepted
+                record.resyncs += 1
+            else:
+                startup = min(
+                    self.smd.config.startup_budget_pages,
+                    self.smd.unassigned_pages,
+                )
+                record.granted_pages += startup
         connection.record = record
         connection.send({
-            "op": "welcome", "pid": record.pid, "startup_budget": startup,
+            "op": "welcome", "pid": record.pid,
+            "startup_budget": startup, "resync_budget": accepted,
         })
 
     def _handle_request(self, connection: _Connection, frame: dict) -> None:
@@ -278,11 +389,11 @@ class RpcDaemonServer:
         try:
             with self._lock:
                 granted = self.smd.handle_request(record.pid, pages)
-            connection.send({
+            connection.reply(frame["id"], {
                 "op": "grant", "id": frame["id"], "pages": granted,
             })
         except SoftMemoryDenied as exc:
-            connection.send({
+            connection.reply(frame["id"], {
                 "op": "deny", "id": frame["id"],
                 "reclaimed": exc.reclaimed,
             })
@@ -293,12 +404,21 @@ class RpcDaemonServer:
             return
         with self._lock:
             self.smd.handle_release(record.pid, int(frame["pages"]))
-        connection.send({"op": "ok", "id": frame["id"]})
+        connection.reply(frame["id"], {"op": "ok", "id": frame["id"]})
+
+    def _handle_resync(self, connection: _Connection, frame: dict) -> None:
+        """Adopt a reconnected client's settled ledger wholesale."""
+        record = connection.record
+        if record is None:
+            return
+        with self._lock:
+            self.smd.adopt_granted(record.pid, int(frame.get("granted", 0)))
 
     def disconnect(self, connection: _Connection) -> None:
         """Client went away: its budget returns to the pool."""
-        if connection in self._connections:
-            self._connections.remove(connection)
+        with self._conn_lock:
+            if connection in self._connections:
+                self._connections.remove(connection)
         record = connection.record
         if record is not None:
             with self._lock:

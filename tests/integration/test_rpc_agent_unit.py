@@ -5,10 +5,19 @@ import threading
 
 import pytest
 
-from repro.core.errors import SoftMemoryDenied
+from repro.core.errors import SoftMemoryDegraded, SoftMemoryDenied
 from repro.core.locking import LockedSoftMemoryAllocator
 from repro.rpc.agent import SmaAgent
+from repro.rpc.config import RetryPolicy, RpcConfig
 from repro.rpc.framing import FrameStream
+
+# scripted-daemon tests assert on exact frame sequences, so the agent
+# must not interleave heartbeat pings into them
+SCRIPTED_CONFIG = RpcConfig(
+    heartbeat_interval=0.0,
+    demand_lock_timeout=0.2,
+    request_retry=RetryPolicy(attempts=1),
+)
 
 
 @pytest.fixture
@@ -24,7 +33,8 @@ def harness():
 
     def build_agent():
         agent_holder["agent"] = SmaAgent(
-            FrameStream(client_sock), sma, name="unit"
+            FrameStream(client_sock), sma, name="unit",
+            config=SCRIPTED_CONFIG,
         )
 
     builder = threading.Thread(target=build_agent)
@@ -104,7 +114,6 @@ class TestAgentDemands:
         """The deadlock backstop: a demand arriving while the app
         thread holds the SMA lock answers zero pages with busy=True."""
         agent, sma, daemon = harness
-        agent.DEMAND_LOCK_TIMEOUT = 0.2
         sma.budget.grant(5)
         acquired = threading.Event()
         release = threading.Event()
@@ -141,4 +150,10 @@ class TestAgentDemands:
         daemon.recv()  # the request frame
         daemon.close()  # daemon dies without answering
         t.join(timeout=10)
+        # a dead daemon is NOT a policy denial: the app sees the
+        # distinct degraded-mode error (still a SoftMemoryDenied
+        # subclass, so existing best-effort handlers keep working)
+        assert isinstance(result.get("error"), SoftMemoryDegraded)
         assert isinstance(result.get("error"), SoftMemoryDenied)
+        assert agent.degraded
+        assert sma.degraded

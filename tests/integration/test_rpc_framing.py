@@ -75,6 +75,57 @@ class TestFrameStream:
         with pytest.raises(ValueError):
             right.recv()
 
+    def test_frame_split_across_many_chunks(self, pair):
+        """A frame trickling in one byte per recv still parses whole."""
+        left, right = pair
+        data = b'{"op":"request","pages":8,"id":3}\n'
+        result = {}
+
+        def reader():
+            result["frame"] = right.recv()
+
+        t = threading.Thread(target=reader)
+        t.start()
+        for i in range(len(data)):
+            left._sock.sendall(data[i:i + 1])
+        t.join(timeout=5)
+        assert result["frame"] == {"op": "request", "pages": 8, "id": 3}
+
+    def test_many_frames_in_one_chunk(self, pair):
+        """One TCP segment carrying several frames yields them all."""
+        left, right = pair
+        left._sock.sendall(b'{"a":1}\n{"b":2}\n{"c":3}\n')
+        assert right.recv() == {"a": 1}
+        assert right.recv() == {"b": 2}
+        assert right.recv() == {"c": 3}
+
+    def test_malformed_line_then_valid_frame(self, pair):
+        """A bad line is consumed; the stream recovers on the next."""
+        left, right = pair
+        left._sock.sendall(b'{broken\n{"ok":true}\n')
+        with pytest.raises(ValueError):
+            right.recv()
+        assert right.recv() == {"ok": True}
+
+    def test_eof_with_partial_frame_buffered(self, pair):
+        """EOF mid-frame is a close, not a hang or a parse attempt."""
+        left, right = pair
+        left._sock.sendall(b'{"op":"request","pages":')  # no newline
+        left.close()
+        with pytest.raises(FrameClosed):
+            right.recv()
+
+    def test_oversized_frame_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            stream = FrameStream(b, max_frame_bytes=1024)
+            a.sendall(b"x" * 70000)  # garbage, no terminator
+            with pytest.raises(ValueError):
+                stream.recv()
+        finally:
+            a.close()
+            b.close()
+
 
 class TestServerEdgeCases:
     def test_unknown_op_answered_with_error(self, tmp_path):

@@ -56,6 +56,60 @@ class TestTcpRoundtrips:
         assert server.connections_served == 2
 
 
+class TestPipelinedReplies:
+    def test_pipeline_returns_all_replies_in_order(self, server):
+        with TcpKvClient(server.address) as client:
+            replies = client.execute_pipeline(
+                ("SET", "a", "1"),
+                ("SET", "b", "2"),
+                ("GET", "a"),
+                ("GET", "b"),
+            )
+            assert [str(replies[0]), str(replies[1])] == ["OK", "OK"]
+            assert replies[2:] == [b"1", b"2"]
+
+    def test_no_desync_after_batched_replies(self, server):
+        """Several replies arriving in one recv must all be consumed in
+        order — the old client kept only the first and desynced."""
+        with TcpKvClient(server.address) as client:
+            # one write carrying two commands: the server very likely
+            # answers both in a single segment
+            client._sock.sendall(
+                b"*3\r\n$3\r\nSET\r\n$1\r\nx\r\n$2\r\nv1\r\n"
+                b"*3\r\n$3\r\nSET\r\n$1\r\ny\r\n$2\r\nv2\r\n"
+            )
+            assert str(client._next_reply()) == "OK"
+            assert str(client._next_reply()) == "OK"
+            # the connection is still in lockstep
+            assert client.execute("GET", "x") == b"v1"
+            assert client.execute("GET", "y") == b"v2"
+
+    def test_pipeline_error_does_not_discard_followers(self, server):
+        with TcpKvClient(server.address) as client:
+            replies = client.execute_pipeline(
+                ("SET", "s", "text"),
+                ("INCR", "s"),          # type error mid-pipeline
+                ("SET", "t", "ok"),
+            )
+            assert isinstance(replies[1], RespError)
+            assert str(replies[2]) == "OK"
+            assert client.execute("GET", "t") == b"ok"
+
+
+class TestConnectionChurn:
+    def test_finished_conn_threads_are_pruned(self, server):
+        """A long-lived server under connection churn must not hoard
+        dead worker-thread objects."""
+        for i in range(30):
+            with TcpKvClient(server.address) as client:
+                client.execute("SET", f"churn{i}", "x")
+        # one live connection forces a prune pass through accept
+        with TcpKvClient(server.address) as client:
+            client.execute("PING")
+            assert len(server._conn_threads) < 30
+        assert server.connections_served == 31
+
+
 class TestConcurrentClients:
     def test_parallel_writers_do_not_interleave(self, server):
         """Several clients hammering concurrently: every write lands,
