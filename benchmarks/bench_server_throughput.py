@@ -1,0 +1,274 @@
+"""Serving-plane throughput: event-loop vs threaded RESP server.
+
+The repo's first serving baseline. A single driver thread opens C
+connections, and each wave pushes a pipeline of D commands (SET/GET
+mix) down every connection, then drains all C·D replies. The driver
+cost is identical for both servers, so differences are the serving
+plane: the thread-per-connection baseline pays a GIL convoy and a
+scheduler wakeup per connection per wave, while the event loop serves
+every connection from one thread with one lock acquisition and one
+buffered write per batch.
+
+Reported per (server, connections, depth): ops/sec, and p50/p99 of the
+wave round-trip (time from first byte of a wave sent until every reply
+of that wave is parsed).
+
+Configuration:
+
+* ``BENCH_SERVER_SECONDS`` — seconds per combination (default 0.25:
+  CI-smoke scale; the committed ``BENCH_server.json`` uses 2.0).
+* ``BENCH_SERVER_JSON`` — path to write results (default: skip).
+
+Run:  pytest benchmarks/bench_server_throughput.py --benchmark-only -q -s
+or:   python benchmarks/bench_server_throughput.py   (full config,
+      writes BENCH_server.json in the repo root)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+
+from repro.core.locking import LockedSoftMemoryAllocator
+from repro.kvstore.resp import RespParser, encode_command
+from repro.kvstore.store import DataStore
+from repro.kvstore.tcp import TcpKvServer
+
+CONNECTIONS = (1, 8, 64)
+DEPTHS = (1, 16, 256)
+SERVERS = ("threaded", "event-loop")
+#: the acceptance combination: 64 connections, pipeline depth 16
+HEADLINE = (64, 16)
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def _build_payload(conn_id: int, depth: int) -> tuple[bytes, int]:
+    """One wave's pipelined request bytes for a connection.
+
+    Alternating SET/GET where each GET reads the key the previous SET
+    wrote, so GETs hit and every wave exercises both store paths.
+    """
+    parts = []
+    for i in range(depth):
+        if i % 2 == 0:
+            parts.append(
+                encode_command("SET", f"c{conn_id}:k{i % 64}", f"v{i}")
+            )
+        else:
+            parts.append(encode_command("GET", f"c{conn_id}:k{(i - 1) % 64}"))
+    return b"".join(parts), depth
+
+
+def run_combo(
+    mode: str, connections: int, depth: int, seconds: float
+) -> dict:
+    store = DataStore(
+        LockedSoftMemoryAllocator(name=f"bench-{mode}-{connections}-{depth}")
+    )
+    server = TcpKvServer(store, threaded=mode == "threaded").start()
+    socks: list[socket.socket] = []
+    try:
+        payloads = []
+        for cid in range(connections):
+            sock = socket.create_connection(server.address, timeout=30)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            socks.append(sock)
+            payloads.append(_build_payload(cid, depth)[0])
+
+        def verified_wave() -> list[int]:
+            """One wave, fully parsed; returns reply bytes per conn."""
+            sizes = []
+            for sock, payload in zip(socks, payloads):
+                sock.sendall(payload)
+            for sock in socks:
+                parser = RespParser()
+                got = 0
+                nbytes = 0
+                while got < depth:
+                    data = sock.recv(65536)
+                    if not data:
+                        raise ConnectionError("server closed mid-wave")
+                    nbytes += len(data)
+                    parser.feed(data)
+                    got += len(parser.parse_all())
+                if got != depth or parser.buffered_bytes:
+                    raise RuntimeError(
+                        f"reply desync: {got} replies for depth {depth}, "
+                        f"{parser.buffered_bytes} bytes left over"
+                    )
+                sizes.append(nbytes)
+            return sizes
+
+        # Warmup populates every key, so from here each wave's replies
+        # are byte-identical; two verified waves pin down that size and
+        # the timed loop then drains by byte count — the cheapest
+        # correct driver, so measured differences are the servers'.
+        verified_wave()
+        expected_sizes = verified_wave()
+
+        def wave() -> None:
+            for sock, payload in zip(socks, payloads):
+                sock.sendall(payload)
+            for sock, expected in zip(socks, expected_sizes):
+                nbytes = 0
+                while nbytes < expected:
+                    data = sock.recv(65536)
+                    if not data:
+                        raise ConnectionError("server closed mid-wave")
+                    nbytes += len(data)
+                if nbytes != expected:
+                    raise RuntimeError(
+                        f"reply desync: {nbytes} bytes, expected {expected}"
+                    )
+
+        latencies: list[float] = []
+        started = time.perf_counter()
+        deadline = started + seconds
+        while time.perf_counter() < deadline:
+            t0 = time.perf_counter()
+            wave()
+            latencies.append(time.perf_counter() - t0)
+        elapsed = time.perf_counter() - started
+        ops = len(latencies) * connections * depth
+        return {
+            "server": mode,
+            "connections": connections,
+            "depth": depth,
+            "waves": len(latencies),
+            "ops": ops,
+            "ops_per_sec": ops / elapsed,
+            "wave_p50_ms": 1000 * percentile(latencies, 0.50),
+            "wave_p99_ms": 1000 * percentile(latencies, 0.99),
+        }
+    finally:
+        for sock in socks:
+            sock.close()
+        server.stop()
+
+
+def run_matrix(seconds: float) -> list[dict]:
+    rows = []
+    for mode in SERVERS:
+        for connections in CONNECTIONS:
+            for depth in DEPTHS:
+                rows.append(run_combo(mode, connections, depth, seconds))
+    return rows
+
+
+def summarize(rows: list[dict]) -> dict:
+    """Headline comparison at 64 connections / depth 16."""
+    def pick(mode: str) -> dict:
+        (row,) = [
+            r
+            for r in rows
+            if r["server"] == mode
+            and (r["connections"], r["depth"]) == HEADLINE
+        ]
+        return row
+
+    threaded, event_loop = pick("threaded"), pick("event-loop")
+    return {
+        "connections": HEADLINE[0],
+        "depth": HEADLINE[1],
+        "threaded_ops_per_sec": round(threaded["ops_per_sec"], 1),
+        "event_loop_ops_per_sec": round(event_loop["ops_per_sec"], 1),
+        "speedup": round(
+            event_loop["ops_per_sec"] / threaded["ops_per_sec"], 2
+        ),
+        "threaded_p99_ms": round(threaded["wave_p99_ms"], 3),
+        "event_loop_p99_ms": round(event_loop["wave_p99_ms"], 3),
+    }
+
+
+def print_table(rows: list[dict], headline: dict) -> None:
+    print("\n")
+    print("=" * 78)
+    print("RESP serving throughput: threaded vs event loop "
+          "(wave RTT = full pipelined batch)")
+    print("-" * 78)
+    print(f"{'server':>10} {'conns':>6} {'depth':>6} {'ops/s':>10} "
+          f"{'p50 ms':>9} {'p99 ms':>9} {'waves':>7}")
+    for row in rows:
+        print(f"{row['server']:>10} {row['connections']:>6} "
+              f"{row['depth']:>6} {row['ops_per_sec']:>10.0f} "
+              f"{row['wave_p50_ms']:>9.3f} {row['wave_p99_ms']:>9.3f} "
+              f"{row['waves']:>7}")
+    print("-" * 78)
+    print(f"headline {headline['connections']} conns x depth "
+          f"{headline['depth']}: event loop "
+          f"{headline['speedup']:.2f}x threaded "
+          f"({headline['event_loop_ops_per_sec']:.0f} vs "
+          f"{headline['threaded_ops_per_sec']:.0f} ops/s)")
+    print("=" * 78)
+
+
+def write_json(rows: list[dict], headline: dict, path: str,
+               seconds: float) -> None:
+    document = {
+        "benchmark": "bench_server_throughput",
+        "seconds_per_combo": seconds,
+        "python_note": "single shared CPython process; driver thread "
+                       "identical for both servers",
+        "headline": headline,
+        "results": rows,
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+
+
+def test_event_loop_outpaces_threaded(benchmark):
+    seconds = float(os.environ.get("BENCH_SERVER_SECONDS", "0.25"))
+
+    def measure():
+        return run_matrix(seconds)
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    headline = summarize(rows)
+    print_table(rows, headline)
+
+    json_path = os.environ.get("BENCH_SERVER_JSON")
+    if json_path:
+        write_json(rows, headline, json_path, seconds)
+
+    # every combination completed its waves without desync or hang
+    for row in rows:
+        assert row["waves"] >= 1, f"{row} produced no complete wave"
+        assert row["ops"] == row["waves"] * row["connections"] * row["depth"]
+    # Regression floor for the tentpole claim. Steady-state runs on the
+    # 1-CPU container measure ~1.6x (see EXPERIMENTS.md for why the GIL
+    # and shared per-command execution cost bound the gap); 1.25 leaves
+    # headroom for CI noise without letting a real regression through.
+    assert headline["speedup"] >= 1.25, (
+        f"event loop only {headline['speedup']}x threaded at "
+        f"{HEADLINE[0]} conns / depth {HEADLINE[1]}"
+    )
+    # the event loop's tail must stay no worse than the threaded plane
+    # (measured: consistently ~40% better; 1.25 absorbs CI noise)
+    assert (
+        headline["event_loop_p99_ms"] <= 1.25 * headline["threaded_p99_ms"]
+    ), (
+        f"event loop p99 {headline['event_loop_p99_ms']}ms vs threaded "
+        f"{headline['threaded_p99_ms']}ms"
+    )
+
+
+def main() -> None:
+    seconds = float(os.environ.get("BENCH_SERVER_SECONDS", "2.0"))
+    rows = run_matrix(seconds)
+    headline = summarize(rows)
+    print_table(rows, headline)
+    path = os.environ.get("BENCH_SERVER_JSON", "BENCH_server.json")
+    write_json(rows, headline, path, seconds)
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

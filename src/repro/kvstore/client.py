@@ -34,6 +34,28 @@ class KvClient:
             raise reply
         return reply
 
+    def execute_pipeline(self, *commands: tuple) -> list[Any]:
+        """Run several commands as one batch through ``feed_batch``.
+
+        Error replies come back in-place (not raised), matching the TCP
+        client's pipelining contract: one failed command must not
+        discard the replies that follow it.
+        """
+        if not commands:
+            return []
+        request = bytearray()
+        for command in commands:
+            request += encode_command(*command)
+        out = bytearray()
+        self._server.feed_batch(bytes(request), out)
+        self._parser.feed(bytes(out))
+        replies = self._parser.parse_all()
+        if len(replies) != len(commands):
+            raise RuntimeError(
+                f"expected {len(commands)} replies, got {len(replies)}"
+            )
+        return replies
+
     # -- sugar ---------------------------------------------------------
 
     def ping(self) -> str:

@@ -47,6 +47,9 @@ def cmd_echo(store: DataStore, args: list[bytes]) -> Any:
 
 
 def cmd_set(store: DataStore, args: list[bytes]) -> Any:
+    if len(args) == 2:  # plain SET key value: skip option scanning
+        store.set(args[0], args[1])
+        return OK
     if len(args) < 2:
         return _wrong_args("set")
     key, value, *opts = args
@@ -468,13 +471,36 @@ COMMANDS: dict[bytes, Handler] = {
 }
 
 
+# Exact-bytes handler lookup: clients overwhelmingly send a command name
+# in one fixed case, so resolving it through `.upper()` allocates a fresh
+# bytes object per command. The cache is seeded with the canonical upper
+# and lower spellings and learns other casings on first sight (bounded,
+# and only for names that resolve — garbage can't grow it).
+_HANDLERS: dict[bytes, Handler] = {}
+for _name, _handler in COMMANDS.items():
+    _HANDLERS[_name] = _handler
+    _HANDLERS[_name.lower()] = _handler
+_HANDLERS_MAX = 4 * len(_HANDLERS)
+
+
+def lookup(name: bytes) -> Handler | None:
+    """Resolve a command name (any casing) to its handler."""
+    handler = _HANDLERS.get(name)
+    if handler is None:
+        handler = COMMANDS.get(name.upper())
+        if handler is not None and len(_HANDLERS) < _HANDLERS_MAX:
+            _HANDLERS[name] = handler
+    return handler
+
+
 def dispatch(store: DataStore, argv: list[bytes]) -> Any:
     """Execute one parsed command vector against the store."""
     if not argv:
         return RespError("ERR empty command")
-    handler = COMMANDS.get(argv[0].upper())
+    handler = _HANDLERS.get(argv[0]) or lookup(argv[0])
     if handler is None:
-        return RespError(f"ERR unknown command '{argv[0].decode()}'")
+        name = argv[0].decode(errors="backslashreplace")
+        return RespError(f"ERR unknown command '{name}'")
     try:
         return handler(store, argv[1:])
     except WrongTypeError as exc:

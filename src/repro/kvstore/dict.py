@@ -103,9 +103,8 @@ class SoftDict(SoftDataStructure):
 
     def _rehash_step(self) -> None:
         """Migrate up to REHASH_STEP_BUCKETS non-empty buckets to ht1."""
-        if not self.is_rehashing:
+        if self._ht1 is None:  # attribute, not the property: hot path
             return
-        assert self._ht1 is not None
         migrated = 0
         empty_visits = 0
         while migrated < REHASH_STEP_BUCKETS:
@@ -153,17 +152,39 @@ class SoftDict(SoftDataStructure):
 
     def put(self, key: bytes, value: Any, size: int | None = None) -> SoftPtr:
         """Insert or overwrite; returns the entry's soft pointer."""
+        return self.upsert(key, value, size)[0]
+
+    def upsert(
+        self, key: bytes, value: Any, size: int | None = None
+    ) -> tuple[SoftPtr, Any | None]:
+        """Insert or overwrite; returns ``(ptr, previous value or None)``.
+
+        A same-size overwrite stores the new payload through the
+        existing soft pointer — one pointer write, the way Redis swaps
+        ``dictEntry->v`` on SET — instead of free + malloc + re-chain.
+        Like a fresh insert, the overwrite refreshes the entry's age
+        (re-inserting its age-index slot), preserving the oldest-first
+        reclamation contract.
+        """
         self._check_key(key)
         self._rehash_step()
+        want = size or self._entry_size
         existing = self._find(key)
+        old_value: Any | None = None
         if existing is not None:
             ptr, table, slot = existing
+            __, old_value = ptr.deref()
+            if ptr.size == want:
+                ptr.store((key, value))
+                del self._by_age[ptr.alloc_id]  # refresh age: now newest
+                self._by_age[ptr.alloc_id] = ptr
+                return ptr, old_value
             self._remove_ptr(ptr, table, slot)
             self._free(ptr)
         self._maybe_start_rehash()
         target = self._ht1 if self.is_rehashing else self._ht0
         assert target is not None
-        ptr = self._alloc(size or self._entry_size, (key, value))
+        ptr = self._alloc(want, (key, value))
         slot = self._hash(key) & target.mask
         bucket = target.buckets[slot]
         if bucket is None:
@@ -171,7 +192,7 @@ class SoftDict(SoftDataStructure):
         bucket.append(ptr)
         target.used += 1
         self._by_age[ptr.alloc_id] = ptr
-        return ptr
+        return ptr, old_value
 
     def get(self, key: bytes, default: Any = None) -> Any:
         self._check_key(key)
@@ -236,8 +257,12 @@ class SoftDict(SoftDataStructure):
             raise TypeError(f"keys must be bytes, got {type(key).__name__}")
 
     def _find(self, key: bytes) -> tuple[SoftPtr, _Table, int] | None:
-        h = self._hash(key)
-        for table in self._tables():
+        h = hash(key)
+        # a tuple, not the _tables() generator: this runs per command
+        tables = (
+            (self._ht0,) if self._ht1 is None else (self._ht0, self._ht1)
+        )
+        for table in tables:
             slot = h & table.mask
             chain = table.buckets[slot]
             if chain:

@@ -75,28 +75,52 @@ def encode_command(*args: Any) -> bytes:
     return b"".join(out)
 
 
+def encode_reply_into(buf: bytearray, value: Any) -> None:
+    """Append one encoded server reply to ``buf``.
+
+    The serving hot path encodes straight into a connection's output
+    buffer, so a pipelined batch produces one growing bytearray instead
+    of one intermediate ``bytes`` object per reply.
+    """
+    if type(value) is bytes:  # GET hits: the most common reply
+        buf += b"$%d\r\n" % len(value)
+        buf += value
+        buf += CRLF
+    elif isinstance(value, SimpleString):
+        buf += b"+"
+        buf += value.encode()
+        buf += CRLF
+    elif isinstance(value, RespError):
+        buf += b"-"
+        buf += value.message.encode()
+        buf += CRLF
+    elif isinstance(value, bool):
+        # Redis has no boolean in RESP2; map to integer like redis-py does.
+        buf += b":%d\r\n" % int(value)
+    elif isinstance(value, int):
+        buf += b":%d\r\n" % value
+    elif value is None:
+        buf += b"$-1\r\n"
+    else:
+        if isinstance(value, str):
+            value = value.encode()
+        if isinstance(value, bytes):
+            buf += b"$%d\r\n" % len(value)
+            buf += value
+            buf += CRLF
+        elif isinstance(value, (list, tuple)):
+            buf += b"*%d\r\n" % len(value)
+            for item in value:
+                encode_reply_into(buf, item)
+        else:
+            raise TypeError(f"cannot encode {type(value).__name__} as RESP")
+
+
 def encode_reply(value: Any) -> bytes:
     """Encode a server reply."""
-    if isinstance(value, SimpleString):
-        return b"+" + str(value).encode() + CRLF
-    if isinstance(value, RespError):
-        return b"-" + value.message.encode() + CRLF
-    if isinstance(value, bool):
-        # Redis has no boolean in RESP2; map to integer like redis-py does.
-        return b":%d\r\n" % int(value)
-    if isinstance(value, int):
-        return b":%d\r\n" % value
-    if value is None:
-        return b"$-1\r\n"
-    if isinstance(value, str):
-        value = value.encode()
-    if isinstance(value, bytes):
-        return b"$%d\r\n" % len(value) + value + CRLF
-    if isinstance(value, (list, tuple)):
-        out = [b"*%d\r\n" % len(value)]
-        out.extend(encode_reply(item) for item in value)
-        return b"".join(out)
-    raise TypeError(f"cannot encode {type(value).__name__} as RESP")
+    buf = bytearray()
+    encode_reply_into(buf, value)
+    return bytes(buf)
 
 
 class RespParser:
@@ -126,6 +150,10 @@ class RespParser:
         parse returns the :data:`NULL` sentinel.
         """
         start = self._pos
+        if start < len(self._buf) and self._buf[start] == 0x2A:  # b"*"
+            value = self._parse_command_array()
+            if value is not _FALLBACK:
+                return value
         try:
             value = self._parse_value()
         except _Incomplete:
@@ -133,6 +161,69 @@ class RespParser:
             return None
         self._compact()
         return value
+
+    def _parse_command_array(self) -> Any | None:
+        """Fast path for ``*N`` arrays of bulk strings — every client
+        command on the serving hot path has exactly this shape, so it
+        is parsed in one tight loop over the buffer instead of one
+        recursive ``_parse_value`` call (and its helper-method slices)
+        per element. Returns :data:`_FALLBACK` when the array holds a
+        non-bulk element (the generic parser takes over from the start)
+        and ``None`` when the buffer is incomplete; never moves ``_pos``
+        unless a full array was consumed.
+        """
+        buf = self._buf
+        pos = self._pos  # at b"*"
+        buflen = len(buf)
+        end = buf.find(CRLF, pos + 1)
+        if end < 0:
+            return None
+        try:
+            count = int(buf[pos + 1:end])
+        except ValueError:
+            raise ProtocolError(
+                f"invalid integer {bytes(buf[pos + 1:end])!r}"
+            ) from None
+        if count < 0:
+            if count == -1:
+                self._pos = end + 2
+                self._compact()
+                return NULL
+            raise ProtocolError(f"invalid array length {count}")
+        pos = end + 2
+        items: list[Any] = []
+        append = items.append
+        for __ in range(count):
+            if pos >= buflen:
+                return None
+            if buf[pos] != 0x24:  # not b"$": mixed array, generic path
+                return _FALLBACK
+            end = buf.find(CRLF, pos + 1)
+            if end < 0:
+                return None
+            try:
+                length = int(buf[pos + 1:end])
+            except ValueError:
+                raise ProtocolError(
+                    f"invalid integer {bytes(buf[pos + 1:end])!r}"
+                ) from None
+            if length < 0:
+                if length == -1:
+                    append(None)
+                    pos = end + 2
+                    continue
+                raise ProtocolError(f"invalid bulk length {length}")
+            start = end + 2
+            stop = start + length
+            if buflen < stop + 2:
+                return None
+            if buf[stop:stop + 2] != CRLF:
+                raise ProtocolError("bulk string not terminated by CRLF")
+            append(bytes(buf[start:stop]))
+            pos = stop + 2
+        self._pos = pos
+        self._compact()
+        return items
 
     def parse_all(self) -> list[Any]:
         """All complete values currently buffered (nulls become ``None``)."""
@@ -204,6 +295,10 @@ class RespParser:
 
 class _Incomplete(Exception):
     """Internal: not enough buffered bytes for a complete value."""
+
+
+#: internal: the command-array fast path met a non-bulk element
+_FALLBACK = object()
 
 
 class _Null:

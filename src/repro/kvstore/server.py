@@ -3,14 +3,27 @@
 Like Redis, the server is single-threaded: it consumes a client's RESP
 byte stream, executes each complete command against the store, and
 emits the RESP replies. Transport is left to the caller (the tests and
-examples drive it in-process; a socket loop would simply shuttle bytes).
+examples drive it in-process; the TCP front-ends shuttle bytes).
+
+The hot path is :meth:`KvServer.feed_batch`: it parses and executes
+every complete command in one pass and encodes the replies directly
+into a caller-owned output buffer, so a pipelined batch costs zero
+intermediate ``bytes`` copies between parse, dispatch, and encode.
 """
 
 from __future__ import annotations
 
 from repro.kvstore.commands import dispatch
-from repro.kvstore.resp import ProtocolError, RespError, RespParser, encode_reply
+from repro.kvstore.resp import (
+    NULL,
+    ProtocolError,
+    RespError,
+    RespParser,
+    encode_reply_into,
+)
 from repro.kvstore.store import DataStore
+
+_BAD_ARGV = RespError("ERR protocol error: expected array of bulk strings")
 
 
 class KvServer:
@@ -22,36 +35,93 @@ class KvServer:
         self.commands_processed = 0
         self.protocol_errors = 0
 
-    def feed(self, data: bytes) -> bytes:
-        """Process raw client bytes; return the concatenated replies.
+    def feed_batch(self, data: bytes, out: bytearray) -> int:
+        """Process raw client bytes, appending replies to ``out``.
 
-        Incomplete trailing commands stay buffered for the next feed —
-        exactly how a socket server handles short reads.
+        Returns the number of commands executed. Incomplete trailing
+        commands stay buffered for the next feed — exactly how a socket
+        server handles short reads. On a malformed frame the commands
+        parsed *before* the poison still execute and reply (pipelined
+        clients must not lose completed work), then a protocol-error
+        reply is appended and the rest of the poisoned buffer dropped,
+        the in-process equivalent of Redis closing the connection.
+        """
+        parser = self._parser
+        parser.feed(data)
+        executed = 0
+        store = self.store
+        while True:
+            try:
+                argv = parser.parse_one()
+            except ProtocolError as exc:
+                self._parser = RespParser()
+                self.protocol_errors += 1
+                encode_reply_into(
+                    out, RespError(f"ERR protocol error: {exc}")
+                )
+                break
+            if argv is None:
+                break
+            if argv is NULL:  # a client sent a RESP null as a "command"
+                argv = None
+            if type(argv) is list and all(type(a) is bytes for a in argv):
+                self.commands_processed += 1
+                encode_reply_into(out, dispatch(store, argv))
+            else:
+                encode_reply_into(out, _BAD_ARGV)
+            executed += 1
+        return executed
+
+    def feed(self, data: bytes) -> bytes:
+        """Process raw client bytes; return the concatenated replies."""
+        out = bytearray()
+        self.feed_batch(data, out)
+        return bytes(out)
+
+    def feed_input(self, data: bytes) -> None:
+        """Buffer raw client bytes without executing anything.
+
+        Pair with :meth:`pop_reply` for command-at-a-time serving.
         """
         self._parser.feed(data)
+
+    def pop_reply(self) -> bytes | None:
+        """Parse and execute at most one buffered command.
+
+        Returns that command's encoded reply, or ``None`` when no
+        complete command is buffered. This is the classical
+        thread-per-connection serving step — the caller takes its lock
+        and writes the reply once *per command* — kept as the measured
+        contrast to :meth:`feed_batch`'s one-lock-per-batch hot path.
+        """
         out = bytearray()
         try:
-            commands = self._parser.parse_all()
+            argv = self._parser.parse_one()
         except ProtocolError as exc:
-            # Real Redis closes the connection on a protocol error; the
-            # in-process equivalent is dropping the poisoned input
-            # buffer so the session can continue with fresh commands.
             self._parser = RespParser()
             self.protocol_errors += 1
-            return encode_reply(RespError(f"ERR protocol error: {exc}"))
-        for argv in commands:
-            out.extend(self._run(argv))
+            encode_reply_into(out, RespError(f"ERR protocol error: {exc}"))
+            return bytes(out)
+        if argv is None:
+            return None
+        if argv is NULL:  # a client sent a RESP null as a "command"
+            argv = None
+        if type(argv) is list and all(type(a) is bytes for a in argv):
+            self.commands_processed += 1
+            encode_reply_into(out, dispatch(self.store, argv))
+        else:
+            encode_reply_into(out, _BAD_ARGV)
         return bytes(out)
 
     def _run(self, argv: object) -> bytes:
-        if not isinstance(argv, list) or not all(
-            isinstance(a, bytes) for a in argv
-        ):
-            return encode_reply(
-                RespError("ERR protocol error: expected array of bulk strings")
-            )
-        self.commands_processed += 1
-        return encode_reply(dispatch(self.store, argv))
+        """Execute one already-parsed command vector (compat shim)."""
+        out = bytearray()
+        if type(argv) is list and all(type(a) is bytes for a in argv):
+            self.commands_processed += 1
+            encode_reply_into(out, dispatch(self.store, argv))
+        else:
+            encode_reply_into(out, _BAD_ARGV)
+        return bytes(out)
 
     def __repr__(self) -> str:
         return (

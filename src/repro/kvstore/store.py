@@ -16,10 +16,13 @@ soft footprint always tracks the data actually held.
 from __future__ import annotations
 
 import fnmatch
+import heapq
 import random
+import re
 import time
 from collections import deque
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any, Callable, Iterator
 
 from repro.core.sma import SoftMemoryAllocator
@@ -30,6 +33,23 @@ from repro.kvstore.values import (
     type_name,
     value_bytes,
 )
+
+
+@lru_cache(maxsize=256)
+def _glob_regex(pattern: bytes) -> "re.Pattern[bytes] | None":
+    """Compile a Redis glob once; ``None`` means match-everything.
+
+    The old path called :func:`fnmatch.fnmatchcase` per key, which
+    re-derives the regex for every entry of a KEYS/SCAN sweep. Matching
+    is byte-wise (latin-1 round-trip keeps the translation bijective
+    for all 256 byte values), which both handles binary-unsafe keys the
+    utf-8 decode used to choke on and matches Redis's own semantics of
+    ``?`` consuming exactly one byte.
+    """
+    if pattern == b"*":
+        return None
+    translated = fnmatch.translate(pattern.decode("latin-1"))
+    return re.compile(translated.encode("latin-1"))
 
 
 @dataclass
@@ -86,6 +106,10 @@ class DataStore:
         )
         #: key -> absolute expiry deadline (traditional memory)
         self._expires: dict[bytes, float] = {}
+        #: min-heap of (deadline, key) mirroring ``_expires``; entries go
+        #: stale when a key is deleted/persisted/re-expired and are
+        #: discarded lazily, so sweeps never scan the whole dict
+        self._expiry_heap: list[tuple[float, bytes]] = []
         self.stats = StoreStats()
         #: bytes of keys+values held in traditional memory
         self.traditional_bytes = 0
@@ -134,6 +158,23 @@ class DataStore:
     def _now(self) -> float:
         return self.config.time_fn()
 
+    def _set_expiry(self, key: bytes, deadline: float) -> None:
+        self._expires[key] = deadline
+        heapq.heappush(self._expiry_heap, (deadline, key))
+        self._maybe_compact_heap()
+
+    def _maybe_compact_heap(self) -> None:
+        """Rebuild the deadline heap once stale entries dominate.
+
+        A churny workload (SET ... EX on hot keys, deletes, persists)
+        strands stale entries; rebuilding at a 4× ratio keeps the heap
+        O(live TTLs) for amortized O(1) per strand.
+        """
+        heap = self._expiry_heap
+        if len(heap) > 64 and len(heap) > 4 * len(self._expires):
+            heap[:] = [(d, k) for k, d in self._expires.items()]
+            heapq.heapify(heap)
+
     def _check_expired(self, key: bytes) -> bool:
         """Lazy expiry: delete the key if its deadline passed."""
         deadline = self._expires.get(key)
@@ -143,14 +184,36 @@ class DataStore:
         self.stats.expired_keys += 1
         return True
 
-    def sweep_expired(self) -> int:
-        """Active expiry cycle: purge every key past its deadline."""
+    def sweep_expired(self, limit: int | None = None) -> int:
+        """Active expiry cycle: purge keys past their deadline.
+
+        Pops the deadline heap instead of scanning ``_expires``, so a
+        sweep costs O(expired · log n) rather than O(keys-with-ttl).
+        Heap entries whose key was deleted, persisted, or re-expired in
+        the meantime no longer match the authoritative dict and are
+        dropped on sight (lazy invalidation). ``limit`` caps the number
+        of keys purged per cycle Redis-style, so a periodic sweep in a
+        serving loop cannot stall traffic behind a mass expiry; internal
+        full sweeps (DBSIZE, KEYS, RANDOMKEY) leave it unbounded.
+        """
+        expires = self._expires
+        heap = self._expiry_heap
+        if not expires:
+            heap.clear()  # everything left in the heap is stale
+            return 0
         now = self._now()
-        doomed = [k for k, d in self._expires.items() if d <= now]
-        for key in doomed:
+        removed = 0
+        while heap and heap[0][0] <= now:
+            deadline, key = heapq.heappop(heap)
+            if expires.get(key) != deadline:
+                continue  # stale heap entry
             self._delete_raw(key)
             self.stats.expired_keys += 1
-        return len(doomed)
+            removed += 1
+            if limit is not None and removed >= limit:
+                break
+        self._maybe_compact_heap()
+        return removed
 
     # ------------------------------------------------------------------
     # typed-value internals
@@ -158,7 +221,7 @@ class DataStore:
 
     def _read(self, key: bytes) -> Value | None:
         """Lazy-expiring raw read with hit/miss accounting."""
-        if self._check_expired(key):
+        if self._expires and self._check_expired(key):
             self.stats.misses += 1
             return None
         value = self._dict.get(key)
@@ -178,13 +241,19 @@ class DataStore:
         self, key: bytes, value: Value, *, ex: float | None, keep_ttl: bool
     ) -> None:
         """Insert or replace a value, keeping all ledgers consistent."""
-        old = self._dict.get(key)
+        new_bytes = value_bytes(value)
+        __, old = self._dict.upsert(
+            key,
+            value,
+            size=self.config.entry_overhead_bytes + len(key) + new_bytes,
+        )
         if old is not None:
-            self.traditional_bytes -= len(key) + value_bytes(old)
-        self._dict.put(key, value, size=self._entry_size(key, value))
-        self.traditional_bytes += len(key) + value_bytes(value)
+            # same key: only the value side of the ledger moves
+            self.traditional_bytes += new_bytes - value_bytes(old)
+        else:
+            self.traditional_bytes += len(key) + new_bytes
         if ex is not None:
-            self._expires[key] = self._now() + ex
+            self._set_expiry(key, self._now() + ex)
         elif not keep_ttl:
             self._expires.pop(key, None)
         self.stats.keys_set += 1
@@ -218,8 +287,8 @@ class DataStore:
     def get(self, key: bytes) -> bytes | None:
         """GET: ``None`` for missing, expired, or *reclaimed* keys."""
         value = self._read(key)
-        if value is None:
-            return None
+        if value is None or type(value) is bytes:
+            return value
         return expect_type(value, bytes)
 
     def getdel(self, key: bytes) -> bytes | None:
@@ -474,14 +543,14 @@ class DataStore:
     def expire(self, key: bytes, seconds: float) -> bool:
         if self._check_expired(key) or key not in self._dict:
             return False
-        self._expires[key] = self._now() + seconds
+        self._set_expiry(key, self._now() + seconds)
         return True
 
     def expireat(self, key: bytes, deadline: float) -> bool:
         """EXPIREAT: absolute deadline (store-clock seconds)."""
         if self._check_expired(key) or key not in self._dict:
             return False
-        self._expires[key] = deadline
+        self._set_expiry(key, deadline)
         return True
 
     def ttl(self, key: bytes) -> int:
@@ -509,10 +578,11 @@ class DataStore:
 
     def keys(self, pattern: bytes = b"*") -> list[bytes]:
         self.sweep_expired()
-        pat = pattern.decode()
-        return [
-            k for k in self._dict.keys() if fnmatch.fnmatchcase(k.decode(), pat)
-        ]
+        regex = _glob_regex(bytes(pattern))
+        if regex is None:
+            return list(self._dict.keys())
+        match = regex.match
+        return [k for k in self._dict.keys() if match(k)]
 
     def scan(
         self,
@@ -535,10 +605,10 @@ class DataStore:
         if next_cursor >= len(ordered):
             next_cursor = 0
         if match is not None:
-            pat = match.decode()
-            window = [
-                k for k in window if fnmatch.fnmatchcase(k.decode(), pat)
-            ]
+            regex = _glob_regex(bytes(match))
+            if regex is not None:
+                matcher = regex.match
+                window = [k for k in window if matcher(k)]
         return next_cursor, window
 
     def scan_iter(self) -> Iterator[bytes]:
@@ -551,6 +621,7 @@ class DataStore:
     def flushall(self) -> None:
         self._dict.clear()
         self._expires.clear()
+        self._expiry_heap.clear()
         self.traditional_bytes = 0
 
     def memory_usage(self, key: bytes) -> int | None:

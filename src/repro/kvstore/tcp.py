@@ -1,34 +1,107 @@
-"""TCP front-end: serve the store over real sockets.
+"""TCP front-ends: serve the store over real sockets.
 
 :class:`~repro.kvstore.server.KvServer` is bytes-in/bytes-out; this
-module puts a socket loop around it so the store speaks RESP over TCP
-like real Redis (one thread accepting, one thread per connection —
-the *store* itself stays single-threaded behind a lock, which is
-exactly Redis's own concurrency model: parallel I/O, serialized
-command execution).
+module puts socket machinery around it so the store speaks RESP over
+TCP like real Redis. Two servers share one contract:
 
-Intended for the examples and integration tests; production deployment
-of a Python store is not the point of a reproduction.
+* :class:`EventLoopKvServer` (the default) mirrors Redis's actual
+  concurrency model: a single-threaded ``selectors`` event loop doing
+  non-blocking accept/read/write. Each readable event drains the
+  socket, executes *every* complete pipelined command under one lock
+  acquisition, encodes all replies straight into the connection's
+  output buffer, and attempts one non-blocking flush; leftovers are
+  written when the socket reports writable (write interest is toggled
+  on and off). Slow clients that let their output buffer grow past a
+  configurable limit are disconnected, like Redis's
+  client-output-buffer-limits.
+* :class:`ThreadedKvServer` is the classical thread-per-connection
+  design the event loop replaces, kept selectable for A/B benchmarks:
+  each connection's thread parses one command, takes the store lock,
+  executes, and writes that command's reply — one lock acquisition and
+  one socket write *per command*. Its accept and read loops block on a
+  selector shared with a shutdown socketpair instead of spinning on
+  0.2 s socket timeouts.
+
+:func:`TcpKvServer` constructs either one behind a ``threaded`` flag,
+so existing callers keep working and benchmarks can compare both.
 """
 
 from __future__ import annotations
 
+import select
+import selectors
 import socket
 import threading
+import time
 
 from repro.kvstore.server import KvServer
 from repro.kvstore.store import DataStore
 
+_RECV_SIZE = 65536
+#: default per-connection pending-output cap before the server declares
+#: the client too slow and disconnects it (Redis: client-output-buffer-limit)
+_OUTPUT_BUFFER_LIMIT = 8 * 1024 * 1024
 
-class TcpKvServer:
-    """Threaded TCP front-end over one :class:`DataStore`.
 
-    Each connection gets its own :class:`KvServer` (and therefore its
-    own RESP input buffer — interleaved partial commands from separate
-    clients must never mix), while all command execution against the
-    shared store is serialized by one lock.
+class _BaseTcpServer:
+    """Shared listener setup, lifecycle, and counters."""
 
-    >>> # server = TcpKvServer(store).start()
+    def __init__(
+        self,
+        store: DataStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backlog: int = 128,
+    ) -> None:
+        self.store = store
+        self._lock = threading.Lock()  # serialized command execution
+        self._listener = socket.create_server(
+            (host, port), backlog=backlog, reuse_port=False
+        )
+        self.address: tuple[str, int] = self._listener.getsockname()
+        self._stop = threading.Event()
+        self.connections_served = 0
+        self.commands_processed = 0
+
+    def start(self) -> "_BaseTcpServer":
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self) -> "_BaseTcpServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+class _Connection:
+    """Per-connection state owned by the event loop."""
+
+    __slots__ = ("sock", "session", "out", "pos", "want_write")
+
+    def __init__(self, sock: socket.socket, store: DataStore) -> None:
+        self.sock = sock
+        self.session = KvServer(store)  # per-connection input buffer
+        self.out = bytearray()  # encoded replies not yet on the wire
+        self.pos = 0  # consumed prefix of ``out``
+        self.want_write = False
+
+    @property
+    def pending(self) -> int:
+        return len(self.out) - self.pos
+
+
+class EventLoopKvServer(_BaseTcpServer):
+    """Single-threaded selector event loop over one :class:`DataStore`.
+
+    All parsing, execution, and encoding happens on the loop thread;
+    the lock is held once per readable batch only so that out-of-band
+    threads (soft-memory reclamation in tests and benchmarks, admin
+    inspection) can coordinate with command execution.
+
+    >>> # server = EventLoopKvServer(store).start()
     >>> # ... connect with TcpKvClient(server.address) ...
     >>> # server.stop()
     """
@@ -38,21 +111,243 @@ class TcpKvServer:
         store: DataStore,
         host: str = "127.0.0.1",
         port: int = 0,
-        backlog: int = 16,
+        backlog: int = 128,
+        output_buffer_limit: int = _OUTPUT_BUFFER_LIMIT,
+        shutdown_flush_timeout: float = 5.0,
     ) -> None:
-        self.store = store
-        self._lock = threading.Lock()  # serialized command execution
-        self._listener = socket.create_server(
-            (host, port), backlog=backlog, reuse_port=False
+        super().__init__(store, host, port, backlog)
+        self.output_buffer_limit = output_buffer_limit
+        self.shutdown_flush_timeout = shutdown_flush_timeout
+        self._listener.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listener, selectors.EVENT_READ, None)
+        # waker: stop() signals the (possibly idle, fully blocked) loop
+        self._waker_r, self._waker_w = socket.socketpair()
+        self._waker_r.setblocking(False)
+        self._selector.register(self._waker_r, selectors.EVENT_READ, "waker")
+        self._thread: threading.Thread | None = None
+        self._stopped = False
+        self.clients_dropped = 0  # slow clients disconnected at the limit
+        self.batches_executed = 0  # readable events that ran >= 1 command
+        self.max_batch = 0  # largest command count in one batch
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "EventLoopKvServer":
+        """Begin serving (returns immediately; loop runs on a thread)."""
+        self._thread = threading.Thread(
+            target=self._loop, name="kv-event-loop", daemon=True
         )
-        self._listener.settimeout(0.2)
-        self.address: tuple[str, int] = self._listener.getsockname()
-        self._stop = threading.Event()
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the loop, flush pending output, close every socket."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._stop.set()
+        try:
+            self._waker_w.send(b"\0")
+        except OSError:
+            pass
+        if self._thread is not None:
+            self._thread.join(timeout=self.shutdown_flush_timeout + 5)
+
+    # -- the loop ------------------------------------------------------
+
+    def _loop(self) -> None:
+        try:
+            while not self._stop.is_set():
+                events = self._selector.select()
+                for key, mask in events:
+                    if key.data is None:
+                        self._accept()
+                    elif key.data == "waker":
+                        try:
+                            self._waker_r.recv(64)
+                        except OSError:
+                            pass
+                    else:
+                        self._handle(key.data, mask)
+        finally:
+            self._shutdown()
+
+    def _accept(self) -> None:
+        while True:
+            try:
+                sock, __ = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            sock.setblocking(False)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self.connections_served += 1
+            conn = _Connection(sock, self.store)
+            self._selector.register(sock, selectors.EVENT_READ, conn)
+
+    def _handle(self, conn: _Connection, mask: int) -> None:
+        if mask & selectors.EVENT_READ:
+            if not self._on_readable(conn):
+                return
+        if mask & selectors.EVENT_WRITE:
+            self._flush(conn)
+
+    def _on_readable(self, conn: _Connection) -> bool:
+        """Drain one recv, execute the whole batch, try one flush.
+
+        Returns False when the connection was closed.
+        """
+        try:
+            data = conn.sock.recv(_RECV_SIZE)
+        except (BlockingIOError, InterruptedError):
+            return True
+        except OSError:
+            self._close(conn)
+            return False
+        if not data:
+            self._close(conn)
+            return False
+        with self._lock:  # one acquisition for the whole pipelined batch
+            executed = conn.session.feed_batch(data, conn.out)
+        if executed:
+            self.commands_processed += executed
+            self.batches_executed += 1
+            if executed > self.max_batch:
+                self.max_batch = executed
+        if conn.pending:
+            return self._flush(conn)
+        return True
+
+    def _flush(self, conn: _Connection) -> bool:
+        """Write as much pending output as the socket accepts.
+
+        Returns False when the connection was closed (slow-client limit
+        or socket error). Toggles write interest so the selector only
+        watches sockets that actually owe bytes.
+        """
+        out = conn.out
+        pos = conn.pos
+        send = conn.sock.send
+        try:
+            with memoryview(out) as view:
+                while pos < len(out):
+                    pos += send(view[pos:])
+        except (BlockingIOError, InterruptedError):
+            pass
+        except OSError:
+            conn.pos = pos
+            self._close(conn)
+            return False
+        if pos >= len(out):
+            # fully drained: recycle the buffer, stop watching writable
+            out.clear()
+            conn.pos = 0
+            if conn.want_write:
+                conn.want_write = False
+                self._selector.modify(conn.sock, selectors.EVENT_READ, conn)
+            return True
+        # partial write: keep the unsent tail, bound it, watch writable
+        if pos > _RECV_SIZE:
+            del out[:pos]
+            pos = 0
+        conn.pos = pos
+        if len(out) - pos > self.output_buffer_limit:
+            self.clients_dropped += 1
+            self._close(conn)
+            return False
+        if not conn.want_write:
+            conn.want_write = True
+            self._selector.modify(
+                conn.sock,
+                selectors.EVENT_READ | selectors.EVENT_WRITE,
+                conn,
+            )
+        return True
+
+    def _close(self, conn: _Connection) -> None:
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        conn.sock.close()
+
+    # -- shutdown ------------------------------------------------------
+
+    def _shutdown(self) -> None:
+        """Flush pending output best-effort, then tear everything down."""
+        conns = [
+            key.data
+            for key in list(self._selector.get_map().values())
+            if isinstance(key.data, _Connection)
+        ]
+        deadline = time.monotonic() + self.shutdown_flush_timeout
+        pending = [c for c in conns if c.pending]
+        while pending and time.monotonic() < deadline:
+            sockets = [c.sock for c in pending]
+            try:
+                __, writable, __ = select.select(
+                    [], sockets, [], max(0.0, deadline - time.monotonic())
+                )
+            except (OSError, ValueError):
+                break
+            if not writable:
+                break
+            ready = {id(s) for s in writable}
+            still = []
+            for conn in pending:
+                if id(conn.sock) in ready:
+                    try:
+                        with memoryview(conn.out) as view:
+                            while conn.pos < len(conn.out):
+                                conn.pos += conn.sock.send(view[conn.pos:])
+                    except (BlockingIOError, InterruptedError):
+                        pass
+                    except OSError:
+                        conn.out.clear()
+                        conn.pos = 0
+                if conn.pending:
+                    still.append(conn)
+            pending = still
+        for conn in conns:
+            self._close(conn)
+        self._selector.close()
+        self._listener.close()
+        self._waker_r.close()
+        self._waker_w.close()
+
+
+class ThreadedKvServer(_BaseTcpServer):
+    """Threaded TCP front-end over one :class:`DataStore`.
+
+    Each connection gets its own :class:`KvServer` (and therefore its
+    own RESP input buffer — interleaved partial commands from separate
+    clients must never mix), while all command execution against the
+    shared store is serialized by one lock. Serving is command-at-a-
+    time: parse one command, execute it under the lock, write its
+    reply — the classical blocking-server step the event loop's
+    per-batch execution is measured against. Accept and read block on
+    selectors shared with a shutdown socketpair, never on timeout
+    polls.
+    """
+
+    def __init__(
+        self,
+        store: DataStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backlog: int = 128,
+    ) -> None:
+        super().__init__(store, host, port, backlog)
         self._accept_thread: threading.Thread | None = None
         self._conn_threads: list[threading.Thread] = []
-        self.connections_served = 0
+        # closing the write end wakes every selector blocked on the
+        # read end (EOF is level-triggered readable, forever)
+        self._stop_r, self._stop_w = socket.socketpair()
+        self._stopped = False
 
-    def start(self) -> "TcpKvServer":
+    def start(self) -> "ThreadedKvServer":
         """Begin accepting connections (returns immediately)."""
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="kv-accept", daemon=True
@@ -62,63 +357,108 @@ class TcpKvServer:
 
     def stop(self) -> None:
         """Stop accepting, close the listener, join workers."""
+        if self._stopped:
+            return
+        self._stopped = True
         self._stop.set()
+        self._stop_w.close()
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5)
         self._listener.close()
         for thread in self._conn_threads:
             thread.join(timeout=5)
-
-    def __enter__(self) -> "TcpKvServer":
-        return self.start()
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.stop()
+        self._stop_r.close()
 
     # ------------------------------------------------------------------
 
     def _accept_loop(self) -> None:
-        while not self._stop.is_set():
-            try:
-                conn, __ = self._listener.accept()
-            except socket.timeout:
-                continue
-            except OSError:
-                break
-            self.connections_served += 1
-            thread = threading.Thread(
-                target=self._serve_connection,
-                args=(conn,),
-                name=f"kv-conn-{self.connections_served}",
-                daemon=True,
-            )
-            # prune finished workers so a long-lived server under
-            # connection churn does not accumulate dead thread objects
-            self._conn_threads = [
-                t for t in self._conn_threads if t.is_alive()
-            ]
-            self._conn_threads.append(thread)
-            thread.start()
-
-    def _serve_connection(self, conn: socket.socket) -> None:
-        conn.settimeout(0.2)
-        session = KvServer(self.store)  # per-connection input buffer
-        try:
+        with selectors.DefaultSelector() as sel:
+            sel.register(self._listener, selectors.EVENT_READ)
+            sel.register(self._stop_r, selectors.EVENT_READ)
             while not self._stop.is_set():
-                try:
-                    data = conn.recv(65536)
-                except socket.timeout:
+                ready = sel.select()  # blocks; woken by stop socketpair
+                if self._stop.is_set():
+                    break
+                if not any(
+                    key.fileobj is self._listener for key, __ in ready
+                ):
                     continue
+                try:
+                    conn, __ = self._listener.accept()
                 except OSError:
                     break
-                if not data:
-                    break
-                with self._lock:
-                    reply = session.feed(data)
-                if reply:
-                    conn.sendall(reply)
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                self.connections_served += 1
+                thread = threading.Thread(
+                    target=self._serve_connection,
+                    args=(conn,),
+                    name=f"kv-conn-{self.connections_served}",
+                    daemon=True,
+                )
+                # prune finished workers so a long-lived server under
+                # connection churn does not accumulate dead thread objects
+                self._conn_threads = [
+                    t for t in self._conn_threads if t.is_alive()
+                ]
+                self._conn_threads.append(thread)
+                thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        session = KvServer(self.store)  # per-connection input buffer
+        try:
+            with selectors.DefaultSelector() as sel:
+                sel.register(conn, selectors.EVENT_READ)
+                sel.register(self._stop_r, selectors.EVENT_READ)
+                while not self._stop.is_set():
+                    ready = sel.select()
+                    if self._stop.is_set():
+                        break
+                    if not any(key.fileobj is conn for key, __ in ready):
+                        continue
+                    try:
+                        data = conn.recv(_RECV_SIZE)
+                    except OSError:
+                        break
+                    if not data:
+                        break
+                    session.feed_input(data)
+                    while True:
+                        with self._lock:  # one acquisition per command
+                            reply = session.pop_reply()
+                        if reply is None:
+                            break
+                        self.commands_processed += 1
+                        conn.sendall(reply)
+        except OSError:
+            pass
         finally:
             conn.close()
+
+
+def TcpKvServer(
+    store: DataStore,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    backlog: int = 128,
+    *,
+    threaded: bool = False,
+    **options: object,
+) -> EventLoopKvServer | ThreadedKvServer:
+    """Build a TCP server for ``store``.
+
+    The event loop is the default serving plane; pass ``threaded=True``
+    to get the thread-per-connection baseline for A/B benchmarking.
+    Extra keyword ``options`` (``output_buffer_limit``,
+    ``shutdown_flush_timeout``) configure the event loop and are
+    rejected for the threaded baseline.
+    """
+    if threaded:
+        if options:
+            raise TypeError(
+                f"threaded server takes no options {sorted(options)!r}"
+            )
+        return ThreadedKvServer(store, host, port, backlog)
+    return EventLoopKvServer(store, host, port, backlog, **options)  # type: ignore[arg-type]
 
 
 class TcpKvClient:
@@ -136,6 +476,7 @@ class TcpKvClient:
         from repro.kvstore.resp import RespParser
 
         self._sock = socket.create_connection(address, timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._parser = RespParser()
         self._replies: "deque[object]" = deque()
 
@@ -147,19 +488,48 @@ class TcpKvClient:
         return self._next_reply()
 
     def execute_pipeline(self, *commands: tuple) -> list[object]:
-        """Send several commands in one write, collect all replies.
+        """Send several commands in one burst, collect all replies.
 
         RESP errors are returned in-place (not raised), like real
         pipelined clients do — one failed command must not discard the
-        replies that follow it.
+        replies that follow it. Deep pipelines interleave sending with
+        reading: a fire-the-whole-payload ``sendall`` deadlocks once
+        both socket buffers fill with replies the client is not yet
+        draining, so the payload is pushed with ``select`` and replies
+        are parsed as they arrive.
         """
-        from repro.kvstore.resp import RespError, encode_command
+        from repro.kvstore.resp import encode_command
 
         if not commands:
             return []
-        self._sock.sendall(
-            b"".join(encode_command(*command) for command in commands)
-        )
+        payload = b"".join(encode_command(*command) for command in commands)
+        timeout = self._sock.gettimeout()
+        sock = self._sock
+        sent = 0
+        sock.setblocking(False)
+        try:
+            with memoryview(payload) as view:
+                while sent < len(payload):
+                    readable, writable, __ = select.select(
+                        [sock], [sock], [], timeout
+                    )
+                    if not readable and not writable:
+                        raise TimeoutError("pipeline send timed out")
+                    if readable:
+                        data = sock.recv(_RECV_SIZE)
+                        if not data:
+                            raise ConnectionError(
+                                "server closed the connection"
+                            )
+                        self._parser.feed(data)
+                    if writable:
+                        try:
+                            sent += sock.send(view[sent:])
+                        except (BlockingIOError, InterruptedError):
+                            pass
+        finally:
+            sock.settimeout(timeout)
+        self._replies.extend(self._parser.parse_all())
         return [self._next_reply(raise_errors=False) for _ in commands]
 
     def _next_reply(self, *, raise_errors: bool = True) -> object:
@@ -169,7 +539,7 @@ class TcpKvClient:
             self._replies.extend(self._parser.parse_all())
             if self._replies:
                 break
-            data = self._sock.recv(65536)
+            data = self._sock.recv(_RECV_SIZE)
             if not data:
                 raise ConnectionError("server closed the connection")
             self._parser.feed(data)

@@ -203,3 +203,102 @@ class TestReclamationIntegration:
         assert store.ttl(b"k0") == -2
         # no stale deadline left behind
         assert b"k0" not in store._expires
+
+
+class TestGlobFastPath:
+    """KEYS/SCAN compile each glob once instead of per-key fnmatch."""
+
+    def test_star_pattern_skips_matching_entirely(self, store):
+        from repro.kvstore.store import _glob_regex
+
+        assert _glob_regex(b"*") is None
+
+    def test_glob_semantics_match_fnmatch(self, store):
+        import fnmatch
+
+        keys = [b"user:1", b"user:22", b"item:1", b"u?er:x", b"uXer:9"]
+        for k in keys:
+            store.set(k, b"v")
+        for pattern in (b"user:*", b"u?er:?", b"*:1", b"u[sX]er:*", b"none*"):
+            expected = sorted(
+                k for k in keys
+                if fnmatch.fnmatchcase(k.decode(), pattern.decode())
+            )
+            assert sorted(store.keys(pattern)) == expected
+
+    def test_binary_unsafe_keys_no_longer_crash(self, store):
+        """Keys that are not valid UTF-8 used to blow up the per-key
+        decode; byte-wise matching handles them."""
+        store.set(b"\xffbinary\xfe", b"v")
+        store.set(b"plain", b"v")
+        assert store.keys(b"\xff*") == [b"\xffbinary\xfe"]
+        assert sorted(store.keys(b"*")) == [b"plain", b"\xffbinary\xfe"]
+
+    def test_scan_match_uses_compiled_pattern(self, store):
+        for i in range(25):
+            store.set(f"k:{i:02d}".encode(), b"v")
+        found = []
+        cursor = 0
+        while True:
+            cursor, window = store.scan(cursor, match=b"k:1*", count=7)
+            found.extend(window)
+            if cursor == 0:
+                break
+        assert sorted(found) == [f"k:1{i}".encode() for i in range(10)]
+
+
+class TestExpiryHeap:
+    """sweep_expired pops a deadline heap; it never scans the dict."""
+
+    def test_sweep_is_incremental_with_limit(self, store, clock):
+        for i in range(20):
+            store.set(f"k{i:02d}".encode(), b"v", ex=5)
+        store.set(b"keeper", b"v")
+        clock.advance(6)
+        assert store.sweep_expired(limit=8) == 8
+        assert store.sweep_expired(limit=8) == 8
+        assert store.sweep_expired() == 4
+        assert store.dbsize() == 1
+
+    def test_stale_heap_entries_after_persist(self, store, clock):
+        store.set(b"k", b"v", ex=5)
+        store.persist(b"k")
+        clock.advance(6)
+        assert store.sweep_expired() == 0
+        assert store.get(b"k") == b"v"
+
+    def test_stale_heap_entries_after_reexpire(self, store, clock):
+        store.set(b"k", b"v", ex=5)
+        store.expire(b"k", 100)  # pushes a second heap entry
+        clock.advance(6)
+        assert store.sweep_expired() == 0  # first entry is stale
+        assert store.get(b"k") == b"v"
+        clock.advance(100)
+        assert store.sweep_expired() == 1
+        assert store.get(b"k") is None
+
+    def test_heap_compaction_under_ttl_churn(self, store, clock):
+        """Re-setting TTLs on hot keys strands stale entries; the heap
+        must stay proportional to live TTLs, not to churn."""
+        for round_ in range(100):
+            for i in range(10):
+                store.set(f"hot{i}".encode(), b"v", ex=1000 + round_)
+        assert len(store._expiry_heap) < 100
+        clock.advance(2000)
+        assert store.sweep_expired() == 10
+        assert store.dbsize() == 0
+
+    def test_delete_leaves_no_live_deadline(self, store, clock):
+        store.set(b"k", b"v", ex=5)
+        store.delete(b"k")
+        store.set(b"k", b"v2")  # no TTL this time
+        clock.advance(6)
+        store.sweep_expired()
+        assert store.get(b"k") == b"v2"
+
+    def test_flushall_clears_heap(self, store):
+        for i in range(5):
+            store.set(str(i).encode(), b"v", ex=10)
+        store.flushall()
+        assert store._expiry_heap == []
+        assert store._expires == {}
