@@ -69,6 +69,17 @@ class SoftMemoryDaemon:
         self.denials = 0
         self.reclamation_episodes = 0
         self.demands_issued = 0
+        #: pages handed out (startup budgets + approved requests)
+        self.pages_granted = 0
+        #: pages voluntarily returned via release
+        self.pages_released = 0
+        #: pages surrendered to reclamation demands (incl. trims)
+        self.pages_reclaimed = 0
+        #: pages reclaimed beyond what an episode actually needed —
+        #: the cost of the over-reclaim bias (section 4)
+        self.over_reclaimed_pages = 0
+        #: budget that evaporated with exiting processes (deregister)
+        self.pages_forfeited = 0
 
     # ------------------------------------------------------------------
     # registration
@@ -105,11 +116,26 @@ class SoftMemoryDaemon:
         if startup > 0:
             record.granted_pages += startup
             sma.budget.grant(startup)
+            self.pages_granted += startup
+        self.log.record(
+            self._time_fn(),
+            "register",
+            pid=record.pid,
+            name=record.name,
+            startup=startup,
+        )
         return record
 
     def deregister(self, pid: int) -> None:
         """Detach a process (exit); its budget returns to the pool."""
-        self.registry.remove(pid)
+        record = self.registry.remove(pid)
+        self.pages_forfeited += record.granted_pages
+        self.log.record(
+            self._time_fn(),
+            "deregister",
+            pid=pid,
+            forfeited=record.granted_pages,
+        )
 
     # ------------------------------------------------------------------
     # capacity accounting
@@ -143,6 +169,7 @@ class SoftMemoryDaemon:
         stats = record.sma.reclaim_flexible(pages)
         surrendered = stats.pages_reclaimed
         record.granted_pages -= surrendered
+        self.pages_reclaimed += surrendered
         self.log.record(
             self._time_fn(),
             "trim",
@@ -164,6 +191,14 @@ class SoftMemoryDaemon:
         if pages < 0:
             raise ValueError(f"granted pages must be non-negative: {pages}")
         record = self.registry.get(pid)
+        delta = pages - record.granted_pages
+        # fold the resync delta into the conservation counters so
+        # ``assigned == granted - released - reclaimed - forfeited``
+        # stays an exact identity across reconnects
+        if delta >= 0:
+            self.pages_granted += delta
+        else:
+            self.pages_released += -delta
         record.granted_pages = pages
         self.log.record(
             self._time_fn(),
@@ -215,6 +250,7 @@ class SoftMemoryDaemon:
                 raise SoftMemoryDenied(pid, pages, reclaimed)
         record.granted_pages += pages
         record.requests_approved += 1
+        self.pages_granted += pages
         self.log.record(self._time_fn(), "grant", pid=pid, pages=pages)
         return pages
 
@@ -227,6 +263,7 @@ class SoftMemoryDaemon:
                 f"but only {record.granted_pages} were granted"
             )
         record.granted_pages -= pages
+        self.pages_released += pages
         self.log.record(self._time_fn(), "release", pid=pid, pages=pages)
 
     # ------------------------------------------------------------------
@@ -265,6 +302,8 @@ class SoftMemoryDaemon:
                 if demand <= 0:
                     continue
                 total += self._demand(record, demand)
+        if total > needed:
+            self.over_reclaimed_pages += total - needed
         self.log.record(
             self._time_fn(), "reclaim.done", needed=needed, reclaimed=total
         )
@@ -287,6 +326,7 @@ class SoftMemoryDaemon:
             )
         record.granted_pages -= surrendered
         record.pages_reclaimed_from += surrendered
+        self.pages_reclaimed += surrendered
         self.log.record(
             self._time_fn(),
             "demand.done",

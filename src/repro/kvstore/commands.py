@@ -11,8 +11,9 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.core.errors import SoftMemoryDenied
 from repro.kvstore.resp import RespError, SimpleString
-from repro.kvstore.store import DataStore
+from repro.kvstore.store import DataStore, _glob_regex
 from repro.kvstore.values import WrongTypeError
 
 Handler = Callable[[DataStore, list[bytes]], Any]
@@ -194,9 +195,167 @@ def cmd_flushall(store: DataStore, args: list[bytes]) -> Any:
     return OK
 
 
+def _fmt_metric(value: Any) -> Any:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return value
+
+
+def _info_sections(store: DataStore) -> list[tuple[str, list[str]]]:
+    """Build INFO as ``(section, lines)`` pairs (Redis section shape).
+
+    The legacy flat ``store.info()`` keys lead the Keyspace section
+    unchanged, so pre-section consumers that grep for ``keys:`` or
+    ``reclaimed_keys:`` keep working; everything observability-shaped
+    reads from the store's metrics registry snapshot.
+    """
+    obs = store.obs
+    snapshot = obs.registry.snapshot()
+
+    server = [
+        f"name:{store.name}",
+        f"commands_processed:{obs.commands}",
+        f"protocol_errors:{obs.protocol_errors}",
+        f"slowlog_len:{len(obs.slowlog)}",
+        f"slowlog_total:{obs.slowlog.total_logged}",
+        f"slowlog_threshold_us:{obs.slowlog.threshold_us}",
+    ]
+    keyspace = [f"{k}:{v}" for k, v in store.info().items()]
+    keyspace.append(f"oom_denials:{store.stats.oom_denials}")
+
+    soft_prefixes = ("sma.", "smd.", "rpc.")
+    soft = [
+        f"{name}:{_fmt_metric(value)}"
+        for name, value in sorted(snapshot.items())
+        if name.startswith(soft_prefixes)
+    ]
+    stats = [
+        f"{name}:{_fmt_metric(value)}"
+        for name, value in sorted(snapshot.items())
+        if name.startswith(("store.", "server."))
+    ]
+    stats.append(f"gauge_errors:{obs.registry.gauge_errors}")
+    latency: list[str] = []
+    for name, snap in sorted(obs.command_stats().items()):
+        latency.append(f"cmd.{name}.count:{snap.count}")
+        latency.append(f"cmd.{name}.mean_us:{snap.mean * 1e6:.1f}")
+        latency.append(f"cmd.{name}.p50_us:{snap.quantile(0.5) * 1e6:.1f}")
+        latency.append(f"cmd.{name}.p99_us:{snap.quantile(0.99) * 1e6:.1f}")
+        latency.append(f"cmd.{name}.max_us:{snap.vmax * 1e6:.1f}")
+    return [
+        ("Server", server),
+        ("Keyspace", keyspace),
+        ("SoftMemory", soft),
+        ("Stats", stats),
+        ("Latency", latency),
+    ]
+
+
 def cmd_info(store: DataStore, args: list[bytes]) -> Any:
-    lines = [f"{k}:{v}" for k, v in store.info().items()]
-    return ("\r\n".join(lines) + "\r\n").encode()
+    if len(args) > 1:
+        return _wrong_args("info")
+    sections = _info_sections(store)
+    if args:
+        want = args[0].lower()
+        sections = [
+            (name, lines)
+            for name, lines in sections
+            if name.lower().encode() == want
+        ]
+        if not sections:
+            return b"\r\n"
+    parts: list[str] = []
+    for name, lines in sections:
+        parts.append(f"# {name}")
+        parts.extend(lines)
+        parts.append("")
+    return ("\r\n".join(parts) + "\r\n").encode()
+
+
+def cmd_slowlog(store: DataStore, args: list[bytes]) -> Any:
+    """SLOWLOG GET [count] | LEN | RESET | HELP (Redis reply shape)."""
+    if not args:
+        return _wrong_args("slowlog")
+    sub = args[0].upper()
+    slowlog = store.obs.slowlog
+    if sub == b"GET":
+        if len(args) > 2:
+            return _wrong_args("slowlog get")
+        count = _parse_int(args[1]) if len(args) == 2 else 10
+        if count < 0:
+            count = len(slowlog)
+        return [
+            [
+                entry.entry_id,
+                int(entry.timestamp),
+                entry.duration_us,
+                list(entry.argv),
+            ]
+            for entry in slowlog.entries(count)
+        ]
+    if sub == b"LEN":
+        return len(slowlog)
+    if sub == b"RESET":
+        slowlog.reset()
+        return OK
+    if sub == b"HELP":
+        return [
+            b"SLOWLOG GET [count] -- return the <count> newest entries",
+            b"SLOWLOG LEN -- number of retained entries",
+            b"SLOWLOG RESET -- clear the log (total_logged survives)",
+        ]
+    return RespError(
+        f"ERR unknown SLOWLOG subcommand "
+        f"{sub.decode(errors='backslashreplace')!r}"
+    )
+
+
+#: CONFIG parameters we implement, mapping to the slowlog knobs
+_CONFIG_PARAMS = (b"slowlog-log-slower-than", b"slowlog-max-len")
+
+
+def cmd_config(store: DataStore, args: list[bytes]) -> Any:
+    """CONFIG GET/SET for the slowlog knobs (Redis parameter names)."""
+    if len(args) < 2:
+        return _wrong_args("config")
+    sub = args[0].upper()
+    obs = store.obs
+    if sub == b"GET":
+        pattern = args[1].lower()
+        flat: list[bytes] = []
+        values = {
+            b"slowlog-log-slower-than": obs.slowlog_threshold_us,
+            b"slowlog-max-len": obs.slowlog.max_len,
+        }
+        regex = _glob_regex(pattern)
+        for param in _CONFIG_PARAMS:
+            if regex is None or regex.match(param):
+                flat.append(param)
+                flat.append(str(values[param]).encode())
+        return flat
+    if sub == b"SET":
+        if len(args) != 3:
+            return _wrong_args("config set")
+        param = args[1].lower()
+        if param == b"slowlog-log-slower-than":
+            obs.set_slowlog_threshold_us(_parse_int(args[2]))
+            return OK
+        if param == b"slowlog-max-len":
+            value = _parse_int(args[2])
+            if value < 1:
+                return RespError(
+                    "ERR CONFIG SET failed - argument must be positive"
+                )
+            obs.slowlog.set_max_len(value)
+            return OK
+        return RespError(
+            f"ERR Unknown option or number of arguments for CONFIG SET - "
+            f"'{param.decode(errors='backslashreplace')}'"
+        )
+    return RespError(
+        f"ERR unknown CONFIG subcommand "
+        f"{sub.decode(errors='backslashreplace')!r}"
+    )
 
 
 def cmd_memory(store: DataStore, args: list[bytes]) -> Any:
@@ -439,6 +598,8 @@ COMMANDS: dict[bytes, Handler] = {
     b"DBSIZE": cmd_dbsize,
     b"FLUSHALL": cmd_flushall,
     b"INFO": cmd_info,
+    b"SLOWLOG": cmd_slowlog,
+    b"CONFIG": cmd_config,
     b"MEMORY": cmd_memory,
     b"TYPE": cmd_type,
     b"GETDEL": cmd_getdel,
@@ -505,6 +666,14 @@ def dispatch(store: DataStore, argv: list[bytes]) -> Any:
         return handler(store, argv[1:])
     except WrongTypeError as exc:
         return RespError(str(exc))  # Redis sends WRONGTYPE without ERR
+    except SoftMemoryDenied:
+        # the SMA could not back the write (policy denial, or a local
+        # degraded-mode denial); answer like Redis under maxmemory
+        # instead of letting the exception kill the serving thread
+        store.stats.oom_denials += 1
+        return RespError(
+            "OOM command not allowed when soft memory cannot be allocated"
+        )
     except ValueError as exc:
         return RespError(f"ERR {exc}")
     except TypeError as exc:

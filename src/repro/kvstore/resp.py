@@ -134,6 +134,10 @@ class RespParser:
     def __init__(self) -> None:
         self._buf = bytearray()
         self._pos = 0
+        #: True iff the last :meth:`parse_one` value came from the
+        #: command fast path, which certifies a list of only ``bytes``
+        #: elements — servers can then skip re-validating the argv
+        self.command_fast = False
 
     def feed(self, data: bytes) -> None:
         self._buf.extend(data)
@@ -149,10 +153,13 @@ class RespParser:
         by :meth:`parse_all`, which callers should prefer; here a null
         parse returns the :data:`NULL` sentinel.
         """
+        self.command_fast = False
         start = self._pos
         if start < len(self._buf) and self._buf[start] == 0x2A:  # b"*"
             value = self._parse_command_array()
             if value is not _FALLBACK:
+                if type(value) is list:
+                    self.command_fast = True
                 return value
         try:
             value = self._parse_value()
@@ -168,7 +175,8 @@ class RespParser:
         is parsed in one tight loop over the buffer instead of one
         recursive ``_parse_value`` call (and its helper-method slices)
         per element. Returns :data:`_FALLBACK` when the array holds a
-        non-bulk element (the generic parser takes over from the start)
+        non-bulk or null element (the generic parser takes over from
+        the start, so fast-path output is certified all-``bytes``)
         and ``None`` when the buffer is incomplete; never moves ``_pos``
         unless a full array was consumed.
         """
@@ -209,9 +217,10 @@ class RespParser:
                 ) from None
             if length < 0:
                 if length == -1:
-                    append(None)
-                    pos = end + 2
-                    continue
+                    # null bulk inside a command: rare and not a valid
+                    # argv — let the generic parser produce it so fast
+                    # path output stays certified all-bytes
+                    return _FALLBACK
                 raise ProtocolError(f"invalid bulk length {length}")
             start = end + 2
             stop = start + length

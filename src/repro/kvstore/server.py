@@ -9,9 +9,17 @@ The hot path is :meth:`KvServer.feed_batch`: it parses and executes
 every complete command in one pass and encodes the replies directly
 into a caller-owned output buffer, so a pipelined batch costs zero
 intermediate ``bytes`` copies between parse, dispatch, and encode.
+
+Per-command latency feeds the store's observability plane
+(``store.obs``) at one clock read per command: the end-of-command
+timestamp of command *i* is the start timestamp of command *i+1*, so a
+pipelined batch pays ``perf_counter`` once per command, not twice.
 """
 
 from __future__ import annotations
+
+from bisect import bisect_left
+from time import perf_counter
 
 from repro.kvstore.commands import dispatch
 from repro.kvstore.resp import (
@@ -31,6 +39,7 @@ class KvServer:
 
     def __init__(self, store: DataStore) -> None:
         self.store = store
+        self.obs = store.obs
         self._parser = RespParser()
         self.commands_processed = 0
         self.protocol_errors = 0
@@ -49,27 +58,60 @@ class KvServer:
         parser = self._parser
         parser.feed(data)
         executed = 0
+        dispatched = 0
+        observed = 0
         store = self.store
+        obs = self.obs
+        # the observation is inlined (not a call to obs.observe_command)
+        # because this loop is the serving hot path: with the cell map,
+        # bounds, and slowlog threshold hoisted to locals, the cost per
+        # command is one clock read, one dict get, one bisect, and one
+        # cell update.  The threshold is sampled per batch, so a CONFIG
+        # SET takes effect from the next readable event.
+        cell_of = obs._cmd_cells.get
+        learn = obs._learn_command
+        bounds = obs._bounds
+        slow_s = obs._slow_s
+        slowlog_add = obs.slowlog.add
+        parse_one = parser.parse_one
+        encode = encode_reply_into
+        start = perf_counter()
         while True:
             try:
-                argv = parser.parse_one()
+                argv = parse_one()
             except ProtocolError as exc:
                 self._parser = RespParser()
                 self.protocol_errors += 1
-                encode_reply_into(
-                    out, RespError(f"ERR protocol error: {exc}")
-                )
+                obs.protocol_errors += 1
+                encode(out, RespError(f"ERR protocol error: {exc}"))
                 break
             if argv is None:
                 break
             if argv is NULL:  # a client sent a RESP null as a "command"
                 argv = None
-            if type(argv) is list and all(type(a) is bytes for a in argv):
-                self.commands_processed += 1
-                encode_reply_into(out, dispatch(store, argv))
+            if parser.command_fast or (
+                type(argv) is list
+                and all(type(a) is bytes for a in argv)
+            ):
+                dispatched += 1
+                encode(out, dispatch(store, argv))
+                end = perf_counter()
+                if argv:
+                    cell = cell_of(argv[0])
+                    if cell is None:
+                        cell = learn(argv[0])
+                    duration = end - start
+                    cell.observe(bisect_left(bounds, duration), duration)
+                    observed += 1
+                    if duration >= slow_s:
+                        slowlog_add(argv, duration)
+                start = end
             else:
-                encode_reply_into(out, _BAD_ARGV)
+                encode(out, _BAD_ARGV)
+                start = perf_counter()
             executed += 1
+        self.commands_processed += dispatched
+        obs.commands += observed
         return executed
 
     def feed(self, data: bytes) -> bytes:
@@ -100,15 +142,23 @@ class KvServer:
         except ProtocolError as exc:
             self._parser = RespParser()
             self.protocol_errors += 1
+            self.obs.protocol_errors += 1
             encode_reply_into(out, RespError(f"ERR protocol error: {exc}"))
             return bytes(out)
         if argv is None:
             return None
         if argv is NULL:  # a client sent a RESP null as a "command"
             argv = None
-        if type(argv) is list and all(type(a) is bytes for a in argv):
+        if self._parser.command_fast or (
+            type(argv) is list and all(type(a) is bytes for a in argv)
+        ):
             self.commands_processed += 1
+            start = perf_counter()
             encode_reply_into(out, dispatch(self.store, argv))
+            if argv:
+                self.obs.observe_command(
+                    argv[0], perf_counter() - start, argv
+                )
         else:
             encode_reply_into(out, _BAD_ARGV)
         return bytes(out)
@@ -118,7 +168,12 @@ class KvServer:
         out = bytearray()
         if type(argv) is list and all(type(a) is bytes for a in argv):
             self.commands_processed += 1
+            start = perf_counter()
             encode_reply_into(out, dispatch(self.store, argv))
+            if argv:
+                self.obs.observe_command(
+                    argv[0], perf_counter() - start, argv
+                )
         else:
             encode_reply_into(out, _BAD_ARGV)
         return bytes(out)

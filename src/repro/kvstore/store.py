@@ -27,6 +27,7 @@ from typing import Any, Callable, Iterator
 
 from repro.core.sma import SoftMemoryAllocator
 from repro.kvstore.dict import SoftDict
+from repro.obs.plane import KvObservability, bind_sma, bind_store
 from repro.kvstore.values import (
     Value,
     expect_type,
@@ -79,6 +80,8 @@ class StoreStats:
     expired_keys: int = 0
     #: entries removed by soft memory reclamation (not by clients)
     reclaimed_keys: int = 0
+    #: writes refused because the SMA denied (or degraded) the alloc
+    oom_denials: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -114,6 +117,10 @@ class DataStore:
         #: bytes of keys+values held in traditional memory
         self.traditional_bytes = 0
         self._rng = random.Random(0)
+        #: observability plane shared by every server wrapping this store
+        self.obs = KvObservability(name=name)
+        bind_store(self.obs.registry, self)
+        bind_sma(self.obs.registry, sma)
 
     # ------------------------------------------------------------------
     # soft memory integration

@@ -36,6 +36,7 @@ import time
 
 from repro.kvstore.server import KvServer
 from repro.kvstore.store import DataStore
+from repro.obs.plane import bind_server
 
 _RECV_SIZE = 65536
 #: default per-connection pending-output cap before the server declares
@@ -130,6 +131,8 @@ class EventLoopKvServer(_BaseTcpServer):
         self.clients_dropped = 0  # slow clients disconnected at the limit
         self.batches_executed = 0  # readable events that ran >= 1 command
         self.max_batch = 0  # largest command count in one batch
+        self._obs = store.obs
+        bind_server(store.obs.registry, self)
 
     # -- lifecycle -----------------------------------------------------
 
@@ -216,6 +219,7 @@ class EventLoopKvServer(_BaseTcpServer):
             self.batches_executed += 1
             if executed > self.max_batch:
                 self.max_batch = executed
+            self._obs.observe_batch(executed)
         if conn.pending:
             return self._flush(conn)
         return True
@@ -346,6 +350,7 @@ class ThreadedKvServer(_BaseTcpServer):
         # read end (EOF is level-triggered readable, forever)
         self._stop_r, self._stop_w = socket.socketpair()
         self._stopped = False
+        bind_server(store.obs.registry, self)
 
     def start(self) -> "ThreadedKvServer":
         """Begin accepting connections (returns immediately)."""

@@ -1,0 +1,55 @@
+"""Machine-wide observability plane.
+
+Dependency-free runtime telemetry for every layer of the reproduction:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with counters,
+  gauges, and fixed-bucket latency histograms (lock-free per-thread
+  cells, merged on read);
+* :mod:`repro.obs.slowlog` — a Redis-SLOWLOG-style bounded ring of the
+  slowest commands;
+* :mod:`repro.obs.plane` — :class:`KvObservability`, the serving-plane
+  hot-path sink (per-command latency, pipeline batch sizes, slowlog),
+  plus ``bind_*`` helpers that expose the existing stats structs of the
+  SMA, SMD, RPC agent, store, and TCP servers as pull gauges.
+
+The pull-gauge design keeps the allocator and daemon hot paths at zero
+added cost: their cheap plain-int counters stay authoritative and the
+registry reads them only at snapshot time. Only the serving plane pays
+a genuine per-event cost (one timestamp and one histogram update per
+command), because per-command latency cannot be reconstructed later.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    HistSnapshot,
+    Histogram,
+    MetricsRegistry,
+    MultiGauge,
+)
+from repro.obs.plane import (
+    KvObservability,
+    bind_agent,
+    bind_server,
+    bind_sma,
+    bind_smd,
+    bind_store,
+)
+from repro.obs.slowlog import Slowlog, SlowlogEntry
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MultiGauge",
+    "Histogram",
+    "HistSnapshot",
+    "MetricsRegistry",
+    "Slowlog",
+    "SlowlogEntry",
+    "KvObservability",
+    "bind_sma",
+    "bind_smd",
+    "bind_agent",
+    "bind_store",
+    "bind_server",
+]

@@ -1,0 +1,438 @@
+"""Counters, gauges, and fixed-bucket histograms behind one registry.
+
+Design constraints (see ISSUE 3):
+
+* **dependency-free** — pure stdlib, importable anywhere the core is;
+* **lock-cheap** — the write paths take no locks.  Counters and
+  histograms keep one cell per writer thread (keyed by
+  ``threading.get_ident()``); each thread mutates only its own cell, so
+  writes never race, and readers merge the cells on demand.  Creating a
+  metric or a new thread cell does take the registry/metric into a tiny
+  critical section, but that happens once per (metric, thread);
+* **monotonic counters** — counters and histogram counts can only grow,
+  which is what lets the soak harness assert "no counter ever
+  decreases" across arbitrary traffic.
+
+Gauges come in three flavours: set-value (``set``/``add``), *pull*
+(a zero-argument callable sampled at snapshot time — how the SMA/SMD/
+RPC stats structs are exposed with zero hot-path cost), and
+:class:`MultiGauge` (a callable returning a ``suffix -> value`` dict,
+for per-process fan-out that changes membership at runtime).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
+
+__all__ = [
+    "DEFAULT_LATENCY_BOUNDS",
+    "Counter",
+    "Gauge",
+    "MultiGauge",
+    "Histogram",
+    "HistSnapshot",
+    "MetricsRegistry",
+]
+
+#: Default histogram bucket upper bounds, in seconds: a 1-2.5-5 ladder
+#: from 1 microsecond to 10 seconds (values above the last bound land in
+#: the implicit overflow bucket).  Chosen to resolve both the ~10 us
+#: command dispatch times and multi-second reclamation stalls.
+DEFAULT_LATENCY_BOUNDS: tuple[float, ...] = tuple(
+    base * scale
+    for scale in (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
+    for base in (1.0, 2.5, 5.0)
+) + (10.0,)
+
+
+class Counter:
+    """Monotonic event counter with per-thread cells.
+
+    ``inc`` touches only the calling thread's cell (one dict store), so
+    concurrent writers never lose increments; ``value`` sums the cells.
+    """
+
+    __slots__ = ("name", "_cells")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._cells: dict[int, int] = {}
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        ident = threading.get_ident()
+        cells = self._cells
+        cells[ident] = cells.get(ident, 0) + amount
+
+    @property
+    def value(self) -> int:
+        return sum(self._cells.values())
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """Point-in-time value: either set by the owner or pulled via ``fn``."""
+
+    __slots__ = ("name", "_fn", "_value")
+
+    def __init__(
+        self, name: str, fn: Callable[[], float] | None = None
+    ) -> None:
+        self.name = name
+        self._fn = fn
+        self._value: float = 0.0
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise TypeError(f"gauge {self.name!r} is pull-only")
+        self._value = value
+
+    def add(self, delta: float) -> None:
+        if self._fn is not None:
+            raise TypeError(f"gauge {self.name!r} is pull-only")
+        self._value += delta
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return self._fn()
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class MultiGauge:
+    """A pull gauge whose callable returns a ``suffix -> value`` mapping.
+
+    Used where the set of series is dynamic — per-process budget gauges
+    on the daemon keep working as processes register and exit.
+    """
+
+    __slots__ = ("name", "_fn")
+
+    def __init__(self, name: str, fn: Callable[[], Mapping[str, float]]) -> None:
+        self.name = name
+        self._fn = fn
+
+    def values(self) -> dict[str, float]:
+        return dict(self._fn())
+
+    def __repr__(self) -> str:
+        return f"<MultiGauge {self.name}>"
+
+
+class _HistCell:
+    """One writer thread's slice of a histogram."""
+
+    __slots__ = ("counts", "count", "total", "vmin", "vmax")
+
+    def __init__(self, buckets: int) -> None:
+        self.counts = [0] * buckets
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+    def observe(self, index: int, value: float) -> None:
+        self.counts[index] += 1
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+
+@dataclass(frozen=True)
+class HistSnapshot:
+    """Immutable merged view of a histogram (supports ``+`` for merges)."""
+
+    bounds: tuple[float, ...]
+    counts: tuple[int, ...]  # len(bounds) + 1 (last = overflow)
+    count: int
+    total: float
+    vmin: float
+    vmax: float
+
+    def __add__(self, other: "HistSnapshot") -> "HistSnapshot":
+        if self.bounds != other.bounds:
+            raise ValueError("cannot merge histograms with different buckets")
+        # An empty side's vmin/vmax are 0.0 sentinels, not observations —
+        # they must not clamp the merged extrema.
+        if self.count == 0:
+            vmin, vmax = other.vmin, other.vmax
+        elif other.count == 0:
+            vmin, vmax = self.vmin, self.vmax
+        else:
+            vmin = min(self.vmin, other.vmin)
+            vmax = max(self.vmax, other.vmax)
+        return HistSnapshot(
+            bounds=self.bounds,
+            counts=tuple(
+                a + b for a, b in zip(self.counts, other.counts)
+            ),
+            count=self.count + other.count,
+            total=self.total + other.total,
+            vmin=vmin,
+            vmax=vmax,
+        )
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate, clamped to [min, max].
+
+        The estimate walks the cumulative counts to the bucket holding
+        rank ``q * count`` and interpolates linearly inside it.  Exact
+        guarantees (relied on by the property tests): the result always
+        lies within the observed ``[vmin, vmax]`` range, never leaves
+        the chosen bucket's bounds, and is non-decreasing in ``q``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if cumulative + n >= target:
+                lower = self.bounds[i - 1] if i > 0 else self.vmin
+                upper = (
+                    self.bounds[i] if i < len(self.bounds) else self.vmax
+                )
+                if upper < lower:  # all data in one low bucket
+                    upper = lower
+                frac = (target - cumulative) / n
+                value = lower + (upper - lower) * frac
+                return min(max(value, self.vmin), self.vmax)
+            cumulative += n
+        return self.vmax
+
+
+class Histogram:
+    """Fixed-bucket histogram with per-thread cells.
+
+    ``observe`` is the general lock-free path.  ``cell_for_caller``
+    hands out the calling thread's raw cell so an externally serialized
+    hot loop (the kvstore serving plane, which already executes under
+    one lock) can update it without re-resolving the thread ident per
+    event.
+    """
+
+    __slots__ = ("name", "bounds", "_cells", "_cells_lock")
+
+    def __init__(
+        self, name: str, bounds: Iterable[float] | None = None
+    ) -> None:
+        self.name = name
+        chosen = tuple(bounds) if bounds is not None else DEFAULT_LATENCY_BOUNDS
+        if not chosen:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b >= a for b, a in zip(chosen, chosen[1:])):
+            raise ValueError(f"bounds must be strictly increasing: {chosen}")
+        self.bounds = chosen
+        self._cells: dict[int, _HistCell] = {}
+        self._cells_lock = threading.Lock()
+
+    def cell_for_caller(self) -> _HistCell:
+        ident = threading.get_ident()
+        cell = self._cells.get(ident)
+        if cell is None:
+            with self._cells_lock:
+                cell = self._cells.get(ident)
+                if cell is None:
+                    cell = _HistCell(len(self.bounds) + 1)
+                    self._cells[ident] = cell
+        return cell
+
+    def shared_cell(self) -> _HistCell:
+        """One cell shared by all writers — for externally serialized
+        hot loops (the serving plane executes under a single lock), so
+        the per-event thread-ident lookup of :meth:`observe` is paid
+        once instead of per observation.  Do NOT mix with unserialized
+        multi-threaded writers."""
+        with self._cells_lock:
+            cell = self._cells.get("shared")  # type: ignore[arg-type]
+            if cell is None:
+                cell = _HistCell(len(self.bounds) + 1)
+                self._cells["shared"] = cell  # type: ignore[index]
+            return cell
+
+    def observe(self, value: float) -> None:
+        self.cell_for_caller().observe(bisect_left(self.bounds, value), value)
+
+    def snapshot(self) -> HistSnapshot:
+        counts = [0] * (len(self.bounds) + 1)
+        count = 0
+        total = 0.0
+        vmin = float("inf")
+        vmax = float("-inf")
+        for cell in list(self._cells.values()):
+            for i, n in enumerate(cell.counts):
+                counts[i] += n
+            count += cell.count
+            total += cell.total
+            if cell.vmin < vmin:
+                vmin = cell.vmin
+            if cell.vmax > vmax:
+                vmax = cell.vmax
+        return HistSnapshot(
+            bounds=self.bounds,
+            counts=tuple(counts),
+            count=count,
+            total=total,
+            vmin=vmin if count else 0.0,
+            vmax=vmax if count else 0.0,
+        )
+
+    @property
+    def count(self) -> int:
+        return sum(cell.count for cell in list(self._cells.values()))
+
+    def quantile(self, q: float) -> float:
+        return self.snapshot().quantile(q)
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name} n={self.count}>"
+
+
+class MetricsRegistry:
+    """Named home for every metric of one process.
+
+    Metrics are get-or-create by name (re-requesting an existing name
+    returns the same object; requesting it as a different kind raises),
+    so independent layers can share a registry without coordination.
+    """
+
+    def __init__(self, name: str = "repro") -> None:
+        self.name = name
+        self._metrics: dict[str, Any] = {}
+        self._lock = threading.Lock()
+        #: pull gauges whose callable raised during a snapshot (the
+        #: snapshot survives; the broken series is just skipped)
+        self.gauge_errors = 0
+
+    # -- constructors ---------------------------------------------------
+
+    def _get_or_create(self, name: str, kind: type, factory: Callable[[], Any]) -> Any:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif type(metric) is not kind:
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {kind.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(
+        self, name: str, fn: Callable[[], float] | None = None
+    ) -> Gauge:
+        gauge = self._get_or_create(name, Gauge, lambda: Gauge(name, fn))
+        if fn is not None and gauge._fn is not fn:
+            # re-binding an existing pull gauge (e.g. a fresh server
+            # front-end over the same store) points it at the new source
+            gauge._fn = fn
+        return gauge
+
+    def multi_gauge(
+        self, name: str, fn: Callable[[], Mapping[str, float]]
+    ) -> MultiGauge:
+        gauge = self._get_or_create(
+            name, MultiGauge, lambda: MultiGauge(name, fn)
+        )
+        if gauge._fn is not fn:
+            gauge._fn = fn  # re-bind, like Gauge
+        return gauge
+
+    def histogram(
+        self, name: str, bounds: Iterable[float] | None = None
+    ) -> Histogram:
+        return self._get_or_create(
+            name, Histogram, lambda: Histogram(name, bounds)
+        )
+
+    # -- queries --------------------------------------------------------
+
+    def get(self, name: str) -> Any | None:
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return list(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat ``name -> value`` view of every metric, right now.
+
+        Histograms expand to ``<name>.count`` / ``.sum`` / ``.mean`` /
+        ``.p50`` / ``.p99`` / ``.max``; multi-gauges to
+        ``<name>.<suffix>``.  A raising pull gauge is skipped (and
+        counted in :attr:`gauge_errors`) instead of poisoning the whole
+        snapshot.
+        """
+        out: dict[str, float] = {}
+        for name, metric in list(self._metrics.items()):
+            if isinstance(metric, Counter):
+                out[name] = metric.value
+            elif isinstance(metric, Gauge):
+                try:
+                    out[name] = metric.value
+                except Exception:
+                    self.gauge_errors += 1
+            elif isinstance(metric, MultiGauge):
+                try:
+                    values = metric.values()
+                except Exception:
+                    self.gauge_errors += 1
+                    continue
+                for suffix, value in values.items():
+                    out[f"{name}.{suffix}"] = value
+            elif isinstance(metric, Histogram):
+                snap = metric.snapshot()
+                out[f"{name}.count"] = snap.count
+                out[f"{name}.sum"] = snap.total
+                out[f"{name}.mean"] = snap.mean
+                out[f"{name}.p50"] = snap.quantile(0.50)
+                out[f"{name}.p99"] = snap.quantile(0.99)
+                out[f"{name}.max"] = snap.vmax
+        return out
+
+    def monotonic_snapshot(self) -> dict[str, float]:
+        """Only the series guaranteed never to decrease.
+
+        Counters, histogram counts, and histogram sums (observations
+        are durations, hence non-negative).  The soak harness diffs two
+        of these to assert monotonicity across a traffic phase.
+        """
+        out: dict[str, float] = {}
+        for name, metric in list(self._metrics.items()):
+            if isinstance(metric, Counter):
+                out[name] = metric.value
+            elif isinstance(metric, Histogram):
+                snap = metric.snapshot()
+                out[f"{name}.count"] = snap.count
+                out[f"{name}.sum"] = snap.total
+                for i, n in enumerate(snap.counts):
+                    out[f"{name}.bucket{i}"] = n
+        return out
+
+    def __repr__(self) -> str:
+        return f"<MetricsRegistry {self.name!r} metrics={len(self)}>"

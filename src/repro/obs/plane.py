@@ -1,0 +1,319 @@
+"""The serving-plane observability sink and per-layer metric bindings.
+
+:class:`KvObservability` is the one genuinely hot piece of the
+observability plane: the RESP servers call :meth:`observe_command` once
+per executed command, so it is written for minimum per-event cost — a
+pre-resolved histogram cell per command name (learned on first sight,
+bounded), one ``bisect`` into shared bucket bounds, and a threshold
+compare for the slowlog.  Everything else in this module is *pull*:
+``bind_*`` helpers register gauges whose callables read the existing
+stats structs (``SmaStats``, ``AgentStats``, the SMD counters, server
+counters) only when a snapshot is taken, adding zero cost to the
+allocator and daemon hot paths.
+
+Every :class:`~repro.kvstore.store.DataStore` owns a
+``KvObservability`` (``store.obs``) shared by all its server
+front-ends, which is what the extended ``INFO`` / ``SLOWLOG`` commands
+and the ``repro.tools.metrics_dump`` CLI read.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
+    HistSnapshot,
+    MetricsRegistry,
+)
+from repro.obs.slowlog import Slowlog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.sma import SoftMemoryAllocator
+    from repro.daemon.smd import SoftMemoryDaemon
+    from repro.kvstore.store import DataStore
+    from repro.rpc.agent import SmaAgent
+
+#: pipeline batch-size buckets (commands per readable event)
+BATCH_BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+#: cap on learned command-name casings (mirrors the dispatch cache)
+_MAX_CMD_NAMES = 512
+
+
+class KvObservability:
+    """Per-store observability: command latency, batch sizes, slowlog.
+
+    ``commands`` / ``protocol_errors`` are plain ints because every
+    writer path is serialized by the server's store lock (event loop:
+    one thread; threaded server: one lock around execution).
+    """
+
+    def __init__(
+        self,
+        name: str = "kv",
+        registry: MetricsRegistry | None = None,
+        *,
+        slowlog_max_len: int = 128,
+        slowlog_threshold_us: int = 10_000,
+        latency_bounds: Iterable[float] | None = None,
+    ) -> None:
+        self.name = name
+        self.registry = registry or MetricsRegistry(name)
+        self.slowlog = Slowlog(
+            max_len=slowlog_max_len, threshold_us=slowlog_threshold_us
+        )
+        self._bounds = (
+            tuple(latency_bounds)
+            if latency_bounds is not None
+            else DEFAULT_LATENCY_BOUNDS
+        )
+        #: exact command-name bytes (any casing) -> that command's
+        #: histogram cell; resolved once per name, then O(1) per event
+        self._cmd_cells: dict[bytes, Any] = {}
+        self._slow_s = slowlog_threshold_us / 1e6
+        self.commands = 0
+        self.protocol_errors = 0
+        self.batch_hist = self.registry.histogram(
+            "server.pipeline_batch", bounds=BATCH_BOUNDS
+        )
+        self._batch_cell = self.batch_hist.shared_cell()
+        self._batch_bounds = self.batch_hist.bounds
+
+    # -- hot path -------------------------------------------------------
+
+    def observe_command(
+        self, name: bytes, duration: float, argv: list[bytes]
+    ) -> None:
+        """Record one executed command (called under the server lock)."""
+        cell = self._cmd_cells.get(name)
+        if cell is None:
+            cell = self._learn_command(name)
+        cell.observe(bisect_left(self._bounds, duration), duration)
+        self.commands += 1
+        if duration >= self._slow_s:
+            self.slowlog.add(argv, duration)
+
+    def observe_batch(self, executed: int) -> None:
+        """Record one readable event's pipelined command count."""
+        self._batch_cell.observe(
+            bisect_left(self._batch_bounds, executed), executed
+        )
+
+    def _learn_command(self, name: bytes) -> Any:
+        """Resolve a command name to its histogram cell (first sight).
+
+        All casings of one command share one histogram, registered as
+        ``cmd.<NAME>.latency``.  The exact-bytes mapping is bounded so
+        hostile random casings cannot grow it without limit (they fall
+        back to re-resolving, still correct)."""
+        canonical = name.upper()
+        label = canonical.decode("ascii", errors="backslashreplace")
+        hist = self.registry.histogram(
+            f"cmd.{label}.latency", bounds=self._bounds
+        )
+        cell = hist.shared_cell()
+        if len(self._cmd_cells) < _MAX_CMD_NAMES:
+            self._cmd_cells[name] = cell
+            self._cmd_cells.setdefault(canonical, cell)
+        return cell
+
+    # -- slowlog config -------------------------------------------------
+
+    @property
+    def slowlog_threshold_us(self) -> int:
+        return self.slowlog.threshold_us
+
+    def set_slowlog_threshold_us(self, threshold_us: int) -> None:
+        self.slowlog.threshold_us = threshold_us
+        self._slow_s = threshold_us / 1e6
+
+    # -- read side ------------------------------------------------------
+
+    def command_stats(self) -> dict[str, HistSnapshot]:
+        """``COMMAND-NAME -> latency snapshot`` for every seen command."""
+        out: dict[str, HistSnapshot] = {}
+        for name in self.registry.names():
+            if name.startswith("cmd.") and name.endswith(".latency"):
+                hist = self.registry.get(name)
+                snap = hist.snapshot()
+                if snap.count:
+                    out[name[len("cmd."):-len(".latency")]] = snap
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"<KvObservability {self.name!r} commands={self.commands} "
+            f"metrics={len(self.registry)}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# pull-gauge bindings (zero hot-path cost)
+# ----------------------------------------------------------------------
+
+
+def _bind_attrs(
+    registry: MetricsRegistry, prefix: str, obj: Any, names: Iterable[str]
+) -> None:
+    for attr in names:
+        registry.gauge(
+            f"{prefix}.{attr}", fn=lambda o=obj, a=attr: getattr(o, a)
+        )
+
+
+def bind_sma(
+    registry: MetricsRegistry,
+    sma: "SoftMemoryAllocator",
+    prefix: str = "sma",
+) -> None:
+    """Expose one SMA's ledgers and lifetime counters as pull gauges."""
+    stats = sma.stats
+    _bind_attrs(
+        registry,
+        f"{prefix}.stats",
+        stats,
+        (
+            "allocations",
+            "frees",
+            "daemon_requests",
+            "batch_denials",
+            "pages_mapped",
+            "pages_released",
+            "pages_rebacked",
+            "reclamations",
+            "degraded_denials",
+        ),
+    )
+    registry.gauge(f"{prefix}.granted_pages", fn=lambda: sma.budget.granted)
+    registry.gauge(f"{prefix}.held_pages", fn=lambda: sma.budget.held)
+    registry.gauge(f"{prefix}.unused_pages", fn=lambda: sma.budget.unused)
+    registry.gauge(f"{prefix}.pool_pages", fn=lambda: sma.pool.page_count)
+    registry.gauge(f"{prefix}.live_bytes", fn=lambda: sma.live_bytes)
+    registry.gauge(
+        f"{prefix}.live_allocations", fn=lambda: sma.live_allocations
+    )
+    registry.gauge(f"{prefix}.contexts", fn=lambda: len(sma.contexts))
+    registry.gauge(f"{prefix}.degraded", fn=lambda: int(sma.degraded))
+    registry.gauge(
+        f"{prefix}.callback_errors",
+        fn=lambda: sum(c.callback_errors for c in sma.contexts),
+    )
+
+
+def bind_smd(
+    registry: MetricsRegistry,
+    smd: "SoftMemoryDaemon",
+    prefix: str = "smd",
+) -> None:
+    """Expose the daemon's ledger, counters, and per-process budgets."""
+    _bind_attrs(
+        registry,
+        prefix,
+        smd,
+        (
+            "requests",
+            "denials",
+            "reclamation_episodes",
+            "demands_issued",
+            "pages_granted",
+            "pages_released",
+            "pages_reclaimed",
+            "over_reclaimed_pages",
+            "capacity_pages",
+            "assigned_pages",
+            "unassigned_pages",
+            "pressure",
+        ),
+    )
+    registry.gauge(f"{prefix}.processes", fn=lambda: len(smd.registry))
+
+    def per_process() -> dict[str, float]:
+        out: dict[str, float] = {}
+        for record in smd.registry:
+            tag = f"{record.name}.{record.pid}"
+            out[f"{tag}.granted_pages"] = record.granted_pages
+            out[f"{tag}.demands_received"] = record.demands_received
+            out[f"{tag}.pages_reclaimed_from"] = record.pages_reclaimed_from
+            out[f"{tag}.requests_denied"] = record.requests_denied
+        return out
+
+    registry.multi_gauge(f"{prefix}.process", per_process)
+
+
+def bind_agent(
+    registry: MetricsRegistry, agent: "SmaAgent", prefix: str = "rpc"
+) -> None:
+    """Expose one RPC agent's fault-tolerance counters as pull gauges."""
+    _bind_attrs(
+        registry,
+        prefix,
+        agent.stats,
+        (
+            "round_trips",
+            "retries",
+            "timeouts",
+            "pings_sent",
+            "pongs_received",
+            "degraded_entries",
+            "degraded_seconds",
+            "reconnects",
+            "resync_pages_shed",
+        ),
+    )
+    registry.gauge(
+        f"{prefix}.demands_served", fn=lambda: agent.demands_served
+    )
+    registry.gauge(f"{prefix}.degraded", fn=lambda: int(agent.degraded))
+
+
+def bind_store(
+    registry: MetricsRegistry, store: "DataStore", prefix: str = "store"
+) -> None:
+    """Expose the keyspace counters and footprint as pull gauges."""
+    _bind_attrs(
+        registry,
+        f"{prefix}.stats",
+        store.stats,
+        (
+            "hits",
+            "misses",
+            "keys_set",
+            "keys_deleted",
+            "expired_keys",
+            "reclaimed_keys",
+            "oom_denials",
+        ),
+    )
+    registry.gauge(f"{prefix}.keys", fn=lambda: len(store.keyspace))
+    registry.gauge(f"{prefix}.soft_bytes", fn=lambda: store.soft_bytes)
+    registry.gauge(
+        f"{prefix}.traditional_bytes", fn=lambda: store.traditional_bytes
+    )
+
+
+def bind_server(
+    registry: MetricsRegistry, server: Any, prefix: str = "server"
+) -> None:
+    """Expose a TCP front-end's counters as pull gauges.
+
+    Works for both :class:`~repro.kvstore.tcp.EventLoopKvServer` and
+    :class:`~repro.kvstore.tcp.ThreadedKvServer`; attributes specific
+    to the event loop are bound only when present.  Rebinding (a new
+    server over the same store) points the gauges at the new server.
+    """
+    registry.gauge(
+        f"{prefix}.connections_served",
+        fn=lambda: server.connections_served,
+    )
+    registry.gauge(
+        f"{prefix}.commands_processed",
+        fn=lambda: server.commands_processed,
+    )
+    for attr in ("clients_dropped", "batches_executed", "max_batch"):
+        if hasattr(server, attr):
+            registry.gauge(
+                f"{prefix}.{attr}",
+                fn=lambda a=attr: getattr(server, a),
+            )

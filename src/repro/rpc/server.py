@@ -366,6 +366,7 @@ class RpcDaemonServer:
                 # any overdraft and settles with a follow-up resync frame
                 accepted = min(claim, max(0, self.smd.unassigned_pages))
                 record.granted_pages += accepted
+                self.smd.pages_granted += accepted
                 record.resyncs += 1
             else:
                 startup = min(
@@ -373,6 +374,7 @@ class RpcDaemonServer:
                     self.smd.unassigned_pages,
                 )
                 record.granted_pages += startup
+                self.smd.pages_granted += startup
         connection.record = record
         connection.send({
             "op": "welcome", "pid": record.pid,

@@ -1,0 +1,157 @@
+"""Snapshot (and diff) a live server's observability plane as JSON.
+
+Connects to a running RESP server, issues the extended ``INFO`` and
+``SLOWLOG GET``, and emits one JSON document — the machine-readable
+twin of the human-readable ``INFO`` text.  Two snapshots taken before
+and after an experiment diff into "what happened in between": every
+numeric series is subtracted, which is exactly meaningful for the
+monotonic counters and histogram counts the soak harness relies on.
+
+Usage::
+
+    python -m repro.tools.metrics_dump --port 6379 > before.json
+    ... run traffic ...
+    python -m repro.tools.metrics_dump --port 6379 > after.json
+    python -m repro.tools.metrics_dump --diff before.json after.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from repro.kvstore.tcp import TcpKvClient
+
+
+def parse_info(payload: bytes) -> dict[str, dict[str, Any]]:
+    """Parse sectioned INFO text into ``{section: {key: value}}``.
+
+    Values parse as int, then float, then stay strings.  Lines before
+    the first ``# Section`` header land in a ``""`` section (legacy
+    flat output).
+    """
+    sections: dict[str, dict[str, Any]] = {}
+    current = sections.setdefault("", {})
+    for raw_line in payload.decode(errors="backslashreplace").splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            current = sections.setdefault(line[1:].strip(), {})
+            continue
+        key, sep, value = line.partition(":")
+        if not sep:
+            continue
+        current[key] = _coerce(value)
+    return {name: body for name, body in sections.items() if body}
+
+
+def _coerce(value: str) -> Any:
+    for cast in (int, float):
+        try:
+            return cast(value)
+        except ValueError:
+            continue
+    return value
+
+
+def snapshot(
+    host: str, port: int, *, slowlog_count: int = 16
+) -> dict[str, Any]:
+    """One observability snapshot of the server at ``host:port``."""
+    with TcpKvClient((host, port)) as client:
+        info_payload = client.execute(b"INFO")
+        slowlog = client.execute(b"SLOWLOG", b"GET", str(slowlog_count))
+    assert isinstance(info_payload, bytes)
+    return {
+        "address": f"{host}:{port}",
+        "info": parse_info(info_payload),
+        "slowlog": [
+            {
+                "id": entry_id,
+                "timestamp": timestamp,
+                "duration_us": duration_us,
+                "argv": [
+                    a.decode(errors="backslashreplace") for a in argv
+                ],
+            }
+            for entry_id, timestamp, duration_us, argv in slowlog  # type: ignore[union-attr]
+        ],
+    }
+
+
+def diff(before: dict[str, Any], after: dict[str, Any]) -> dict[str, Any]:
+    """Numeric ``after - before`` over the INFO sections.
+
+    Non-numeric values and keys present on only one side carry the
+    ``after`` value verbatim, so the diff is always a complete picture
+    of the second snapshot.
+    """
+    out: dict[str, Any] = {}
+    before_info = before.get("info", {})
+    for section, body in after.get("info", {}).items():
+        prev = before_info.get(section, {})
+        delta: dict[str, Any] = {}
+        for key, value in body.items():
+            old = prev.get(key)
+            if isinstance(value, (int, float)) and isinstance(
+                old, (int, float)
+            ):
+                delta[key] = round(value - old, 9)
+            else:
+                delta[key] = value
+        out[section] = delta
+    return {"diff": out}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.metrics_dump",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=6379)
+    parser.add_argument(
+        "--slowlog-count",
+        type=int,
+        default=16,
+        help="newest slowlog entries to include (default 16)",
+    )
+    parser.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("BEFORE", "AFTER"),
+        help="diff two snapshot files instead of connecting",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default="-",
+        help="write JSON here instead of stdout",
+    )
+    args = parser.parse_args(argv)
+
+    if args.diff:
+        with open(args.diff[0]) as fh:
+            before = json.load(fh)
+        with open(args.diff[1]) as fh:
+            after = json.load(fh)
+        document = diff(before, after)
+    else:
+        document = snapshot(
+            args.host, args.port, slowlog_count=args.slowlog_count
+        )
+
+    text = json.dumps(document, indent=2, sort_keys=True)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -35,18 +35,33 @@ class EventLog:
     def __init__(self) -> None:
         self._events: list[Event] = []
         self._subscribers: list[Callable[[Event], None]] = []
+        #: subscriber callbacks that raised inside :meth:`record`
+        self.subscriber_errors = 0
 
     def record(self, time: float, kind: str, **detail: Any) -> Event:
-        """Append an event and notify subscribers."""
+        """Append an event and notify subscribers.
+
+        A raising subscriber is contained and counted: the event is
+        already appended, and every *later* subscriber is still
+        notified — one broken observer must not blind the others or
+        abort the state change being recorded.
+        """
         event = Event(time=time, kind=kind, detail=detail)
         self._events.append(event)
         for callback in self._subscribers:
-            callback(event)
+            try:
+                callback(event)
+            except Exception:
+                self.subscriber_errors += 1
         return event
 
     def subscribe(self, callback: Callable[[Event], None]) -> None:
         """Invoke ``callback`` for every subsequently recorded event."""
         self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[Event], None]) -> None:
+        """Remove a subscriber added with :meth:`subscribe`."""
+        self._subscribers.remove(callback)
 
     def __len__(self) -> int:
         return len(self._events)

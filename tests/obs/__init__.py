@@ -1,0 +1,1 @@
+"""Observability-plane tests: metrics, slowlog, INFO, and the soak harness."""

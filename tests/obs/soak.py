@@ -1,0 +1,339 @@
+"""Deterministic soak harness: mixed traffic + faults, invariants after
+every phase.
+
+The harness wires the full machine the observability plane spans — an
+in-process SMD arbitrating tight soft capacity, the kvstore's SMA, an
+antagonist SMA whose allocations force real reclamation episodes
+against the keyspace, and an :class:`EventLoopKvServer` over live
+TCP — then drives seeded traffic phases through a counting client:
+
+* ``fill``     — pipelined SETs sized to consume soft capacity;
+* ``churn``    — a seeded mix of GET/SET/DEL/INCR/HSET/LPUSH/EXPIRE;
+* ``pressure`` — the antagonist allocates until the daemon reclaims
+  keyspace entries (reclaimed keys, over-reclaim, trace events);
+* ``degraded`` — the store's SMA is marked degraded mid-traffic, so
+  writes needing budget surface as OOM error replies, not crashes;
+* ``poison``   — malformed RESP frames on throwaway connections.
+
+After every phase :meth:`SoakHarness.check_invariants` asserts the
+cross-layer contract the metrics exist to certify:
+
+1. both SMAs' internal ledgers are consistent (``check_invariants``);
+2. daemon and client budget ledgers agree per process;
+3. SMD conservation — ``assigned == granted − released − reclaimed −
+   forfeited`` — holds exactly across grants, reclamation, resyncs;
+4. the command counter equals the sum of all per-command histogram
+   counts (every command observed exactly once);
+5. no monotonic series ever decreases between checks;
+6. INFO-over-TCP reports exactly the commands this client sent.
+
+Everything is seeded and in-process (the daemon runs without real RPC)
+so a failure replays identically.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+
+from repro.core.errors import SoftMemoryDenied
+from repro.core.locking import LockedSoftMemoryAllocator
+from repro.daemon.policy import SelectionConfig
+from repro.daemon.smd import SmdConfig, SoftMemoryDaemon
+from repro.kvstore.resp import RespError, RespParser
+from repro.kvstore.store import DataStore
+from repro.kvstore.tcp import EventLoopKvServer, TcpKvClient
+from repro.obs.plane import bind_smd
+from repro.util.units import PAGE_SIZE
+
+
+class CountingClient:
+    """A :class:`TcpKvClient` that counts what it sends and receives.
+
+    ``commands_sent`` counts valid dispatched commands; the server's
+    ``commands_processed`` must match it exactly (invariant 6).
+    """
+
+    def __init__(self, address: tuple[str, int]) -> None:
+        self._client = TcpKvClient(address, timeout=30.0)
+        self.commands_sent = 0
+        self.replies = 0
+        self.error_replies = 0
+
+    def execute(self, *args: object) -> object:
+        self.commands_sent += 1
+        reply = self._client.execute(*args)
+        self.replies += 1
+        return reply
+
+    def execute_quiet(self, *args: object) -> object:
+        """Like execute but error replies are returned, not raised."""
+        self.commands_sent += 1
+        try:
+            reply = self._client.execute(*args)
+        except RespError as exc:
+            self.replies += 1
+            self.error_replies += 1
+            return exc
+        self.replies += 1
+        return reply
+
+    def pipeline(self, *commands: tuple) -> list[object]:
+        self.commands_sent += len(commands)
+        replies = self._client.execute_pipeline(*commands)
+        self.replies += len(replies)
+        self.error_replies += sum(
+            1 for r in replies if isinstance(r, RespError)
+        )
+        return replies
+
+    def close(self) -> None:
+        self._client.close()
+
+
+class SoakHarness:
+    """One self-contained machine under observability soak."""
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        capacity_pages: int = 192,
+        startup_budget_pages: int = 16,
+    ) -> None:
+        self.rng = random.Random(seed)
+        self.smd = SoftMemoryDaemon(
+            capacity_pages,
+            SmdConfig(
+                selection=SelectionConfig(target_cap=3),
+                startup_budget_pages=startup_budget_pages,
+            ),
+        )
+        # the store's allocator: reclamation arrives from daemon calls
+        # that may run on other threads, so it takes the locked variant
+        self.sma = LockedSoftMemoryAllocator(name="kv")
+        self.record = self.smd.register(self.sma)
+        # antagonist process: its allocations create the memory
+        # pressure that forces reclamation out of the keyspace
+        self.antagonist = LockedSoftMemoryAllocator(name="antagonist")
+        self.antagonist_record = self.smd.register(self.antagonist)
+        self._antagonist_ctx = self.antagonist.create_context(
+            name="blob", priority=10
+        )
+        self._antagonist_ptrs: list[object] = []
+
+        self.store = DataStore(self.sma, name="soak")
+        bind_smd(self.store.obs.registry, self.smd)
+        self.server = EventLoopKvServer(self.store).start()
+        self.client = CountingClient(self.server.address)
+        self._last_monotonic: dict[str, float] = {}
+        self.phases_run: list[str] = []
+        self.poison_frames_sent = 0
+        self.checks_run = 0
+
+    # -- traffic phases -------------------------------------------------
+
+    def phase_fill(self, keys: int = 400, value_size: int = 1024) -> None:
+        """Pipelined SETs that chew through soft capacity."""
+        rng = self.rng
+        batch: list[tuple] = []
+        for i in range(keys):
+            value = bytes([rng.randrange(256)]) * value_size
+            batch.append((b"SET", b"fill:%d" % i, value))
+            if len(batch) >= 32:
+                self.client.pipeline(*batch)
+                batch.clear()
+        if batch:
+            self.client.pipeline(*batch)
+        self._finish_phase("fill")
+
+    def phase_churn(self, ops: int = 600) -> None:
+        """Seeded mixed workload over strings, hashes, and lists."""
+        rng = self.rng
+        client = self.client
+        for _ in range(ops):
+            key = b"churn:%d" % rng.randrange(80)
+            op = rng.randrange(10)
+            if op < 3:
+                client.execute(b"GET", key)
+            elif op < 5:
+                client.execute_quiet(
+                    b"SET", key, b"v" * rng.randrange(16, 512)
+                )
+            elif op == 5:
+                client.execute(b"DEL", key)
+            elif op == 6:
+                client.execute_quiet(b"INCR", b"counter:%d" % rng.randrange(8))
+            elif op == 7:
+                client.execute_quiet(
+                    b"HSET", b"h:" + key, b"f%d" % rng.randrange(4), b"x"
+                )
+            elif op == 8:
+                client.execute_quiet(b"LPUSH", b"l:" + key, b"item")
+            else:
+                client.execute(b"EXPIRE", key, b"100")
+        self._finish_phase("churn")
+
+    def phase_pressure(self, pages: int = 96, chunk_pages: int = 8) -> None:
+        """Antagonist allocations force reclamation from the keyspace.
+
+        Reclamation demands reach the store's SMA on *this* thread, so
+        each allocation runs under the server's execution lock — the
+        exact coordination an out-of-band admin/reclaim thread uses.
+        """
+        allocated = 0
+        while allocated < pages:
+            size = chunk_pages * PAGE_SIZE - 64
+            try:
+                with self.server._lock:
+                    ptr = self.antagonist.soft_malloc(
+                        size, self._antagonist_ctx, payload=b"x"
+                    )
+            except SoftMemoryDenied:
+                break  # daemon denied even after reclamation: saturated
+            self._antagonist_ptrs.append(ptr)
+            allocated += chunk_pages
+        self._finish_phase("pressure")
+
+    def phase_degraded(self, ops: int = 120) -> None:
+        """Traffic while the store's SMA cannot reach the daemon."""
+        rng = self.rng
+        self.sma.mark_degraded(True)
+        try:
+            for i in range(ops):
+                # large values so some SETs genuinely need new budget
+                self.client.execute_quiet(
+                    b"SET",
+                    b"degraded:%d" % i,
+                    b"d" * rng.randrange(512, 4096),
+                )
+                if i % 3 == 0:
+                    self.client.execute(b"GET", b"fill:%d" % rng.randrange(64))
+        finally:
+            self.sma.mark_degraded(False)
+        self._finish_phase("degraded")
+
+    def phase_poison(self, frames: int = 4) -> None:
+        """Malformed RESP on throwaway connections; server must survive."""
+        poisons = [
+            b"*2\r\n$3\r\nGET\r\n$-5\r\nxx\r\n",  # invalid bulk length
+            b"*1\r\n$2\r\nxyZZ\r\n",  # bulk not CRLF-terminated
+            b"!weird\r\n",  # unknown type byte
+            b"*-7\r\n",  # invalid array length
+        ]
+        for i in range(frames):
+            with socket.create_connection(
+                self.server.address, timeout=10.0
+            ) as sock:
+                sock.sendall(poisons[i % len(poisons)])
+                data = sock.recv(65536)
+                parser = RespParser()
+                parser.feed(data)
+                reply = parser.parse_one()
+                assert isinstance(reply, RespError), reply
+            self.poison_frames_sent += 1
+        self._finish_phase("poison")
+
+    def _finish_phase(self, name: str) -> None:
+        self.phases_run.append(name)
+        self.check_invariants(phase=name)
+
+    # -- the contract ---------------------------------------------------
+
+    def check_invariants(self, phase: str = "") -> None:
+        """Assert the full cross-layer contract (see module docstring)."""
+        where = f" after phase {phase!r}" if phase else ""
+        obs = self.store.obs
+        smd = self.smd
+
+        # checks 1-5 read shared ledgers, so they run under the
+        # server's execution lock like any out-of-band inspector
+        with self.server._lock:
+            # 1. allocator-internal ledgers
+            self.sma.check_invariants()
+            self.antagonist.check_invariants()
+
+            # 2. daemon ledger == client ledger, per process
+            assert self.record.granted_pages == self.sma.budget.granted, where
+            assert (
+                self.antagonist_record.granted_pages
+                == self.antagonist.budget.granted
+            ), where
+
+            # 3. SMD conservation identity
+            flow = (
+                smd.pages_granted
+                - smd.pages_released
+                - smd.pages_reclaimed
+                - smd.pages_forfeited
+            )
+            assert smd.assigned_pages == flow, (
+                f"conservation broken{where}: "
+                f"assigned={smd.assigned_pages} "
+                f"granted={smd.pages_granted} "
+                f"released={smd.pages_released} "
+                f"reclaimed={smd.pages_reclaimed} "
+                f"forfeited={smd.pages_forfeited}"
+            )
+            assert smd.assigned_pages <= smd.capacity_pages, where
+
+            # 4. every dispatched command observed exactly once
+            hist_total = sum(
+                snap.count for snap in obs.command_stats().values()
+            )
+            assert obs.commands == hist_total, (
+                f"command counter {obs.commands} != histogram total "
+                f"{hist_total}{where}"
+            )
+
+            # 5. monotonic series never decrease
+            current = obs.registry.monotonic_snapshot()
+            for name, value in self._last_monotonic.items():
+                assert current.get(name, 0) >= value, (
+                    f"monotonic series {name} decreased{where}: "
+                    f"{value} -> {current.get(name, 0)}"
+                )
+            self._last_monotonic = current
+
+        # 6. INFO over live TCP agrees with the client's own ledger
+        sent_before_info = self.client.commands_sent
+        payload = self.client.execute(b"INFO", b"server")
+        assert isinstance(payload, bytes)
+        fields = dict(
+            line.split(":", 1)
+            for line in payload.decode().splitlines()
+            if ":" in line
+        )
+        assert int(fields["commands_processed"]) == sent_before_info, (
+            f"INFO says {fields['commands_processed']} commands, client "
+            f"sent {sent_before_info}{where}"
+        )
+        assert int(fields["protocol_errors"]) == self.protocol_errors_expected
+
+        self.checks_run += 1
+
+    @property
+    def protocol_errors_expected(self) -> int:
+        return self.poison_frames_sent
+
+    # -- lifecycle ------------------------------------------------------
+
+    def run(self, rounds: int = 1) -> None:
+        """The standard soak script: every phase, ``rounds`` times."""
+        for _ in range(rounds):
+            self.phase_fill()
+            self.phase_churn()
+            self.phase_pressure()
+            self.phase_degraded()
+            self.phase_churn(200)
+            self.phase_poison()
+
+    def close(self) -> None:
+        self.client.close()
+        self.server.stop()
+
+    def __enter__(self) -> "SoakHarness":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

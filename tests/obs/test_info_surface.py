@@ -1,0 +1,155 @@
+"""The RESP-facing surface: sectioned INFO, SLOWLOG, CONFIG, metrics_dump.
+
+The acceptance criterion runs here: INFO over a *live TCP* connection
+must return populated soft_memory / stats / latency sections.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.locking import LockedSoftMemoryAllocator
+from repro.kvstore.store import DataStore
+from repro.kvstore.tcp import EventLoopKvServer, TcpKvClient
+from repro.tools import metrics_dump
+
+
+@pytest.fixture
+def server():
+    store = DataStore(LockedSoftMemoryAllocator(name="info-test"))
+    srv = EventLoopKvServer(store).start()
+    yield srv
+    srv.stop()
+
+
+def info_sections(payload: bytes) -> dict[str, dict[str, str]]:
+    sections: dict[str, dict[str, str]] = {}
+    current: dict[str, str] = {}
+    for line in payload.decode().splitlines():
+        if line.startswith("#"):
+            current = sections.setdefault(line[1:].strip(), {})
+        elif ":" in line:
+            key, _, value = line.partition(":")
+            current[key] = value
+    return sections
+
+
+class TestInfoOverLiveTcp:
+    def test_sections_present_and_populated(self, server):
+        with TcpKvClient(server.address) as client:
+            client.execute("SET", "k", "v")
+            client.execute("GET", "k")
+            payload = client.execute("INFO")
+        sections = info_sections(payload)
+        assert set(sections) >= {
+            "Server",
+            "Keyspace",
+            "SoftMemory",
+            "Stats",
+            "Latency",
+        }
+        # soft_memory populated from the SMA pull gauges
+        assert int(sections["SoftMemory"]["sma.stats.allocations"]) >= 1
+        assert int(sections["SoftMemory"]["sma.live_bytes"]) > 0
+        # stats populated from store/server gauges
+        assert int(sections["Stats"]["store.stats.keys_set"]) == 1
+        assert int(sections["Stats"]["server.connections_served"]) == 1
+        # latency populated per command actually executed
+        assert int(sections["Latency"]["cmd.SET.count"]) == 1
+        assert int(sections["Latency"]["cmd.GET.count"]) == 1
+        assert float(sections["Latency"]["cmd.GET.p99_us"]) > 0
+        # legacy flat keys survive inside Keyspace
+        assert sections["Keyspace"]["keys"] == "1"
+        assert sections["Keyspace"]["reclaimed_keys"] == "0"
+
+    def test_section_filter(self, server):
+        with TcpKvClient(server.address) as client:
+            payload = client.execute("INFO", "keyspace")
+        sections = info_sections(payload)
+        assert set(sections) == {"Keyspace"}
+
+    def test_unknown_section_has_no_fields(self, server):
+        with TcpKvClient(server.address) as client:
+            assert info_sections(client.execute("INFO", "nonsense")) == {}
+
+
+class TestSlowlogOverTcp:
+    def test_get_len_reset_cycle(self, server):
+        with TcpKvClient(server.address) as client:
+            # log everything, then generate traffic
+            client.execute("CONFIG", "SET", "slowlog-log-slower-than", "0")
+            client.execute("SET", "k", "v")
+            entries = client.execute("SLOWLOG", "GET")
+            assert entries, "threshold 0 must log every command"
+            entry_id, timestamp, duration_us, argv = entries[0]
+            assert isinstance(entry_id, int)
+            assert isinstance(duration_us, int) and duration_us >= 0
+            assert argv[0] in (b"SET", b"SLOWLOG")
+            length = client.execute("SLOWLOG", "LEN")
+            assert length >= 1
+            assert str(client.execute("SLOWLOG", "RESET")) == "OK"
+            # RESET empties the ring (the RESET itself may re-log after)
+            assert client.execute("SLOWLOG", "LEN") <= 1
+
+    def test_config_get_roundtrip(self, server):
+        with TcpKvClient(server.address) as client:
+            client.execute("CONFIG", "SET", "slowlog-max-len", "16")
+            flat = client.execute("CONFIG", "GET", "slowlog-*")
+            pairs = dict(zip(flat[::2], flat[1::2]))
+            assert pairs[b"slowlog-max-len"] == b"16"
+            assert b"slowlog-log-slower-than" in pairs
+
+
+class TestMetricsDump:
+    def test_snapshot_over_tcp(self, server):
+        host, port = server.address
+        with TcpKvClient(server.address) as client:
+            client.execute("CONFIG", "SET", "slowlog-log-slower-than", "0")
+            client.execute("SET", "k", "v")
+        snap = metrics_dump.snapshot(host, port)
+        assert snap["info"]["Keyspace"]["keys"] == 1
+        assert snap["info"]["Latency"]["cmd.SET.count"] == 1
+        assert snap["slowlog"], "threshold 0 should have logged entries"
+        assert {"id", "timestamp", "duration_us", "argv"} <= set(
+            snap["slowlog"][0]
+        )
+        json.dumps(snap)  # the whole document must be JSON-serializable
+
+    def test_diff_subtracts_numeric_series(self, server):
+        host, port = server.address
+        before = metrics_dump.snapshot(host, port)
+        with TcpKvClient(server.address) as client:
+            for i in range(5):
+                client.execute("SET", b"d%d" % i, "v")
+        after = metrics_dump.snapshot(host, port)
+        delta = metrics_dump.diff(before, after)["diff"]
+        assert delta["Stats"]["store.stats.keys_set"] == 5
+        assert delta["Latency"]["cmd.SET.count"] == 5
+        # non-numeric values carry the after side verbatim
+        assert delta["Server"]["name"] == after["info"]["Server"]["name"]
+
+    def test_cli_writes_snapshot_file(self, server, tmp_path):
+        host, port = server.address
+        out = tmp_path / "snap.json"
+        rc = metrics_dump.main(
+            ["--host", host, "--port", str(port), "-o", str(out)]
+        )
+        assert rc == 0
+        document = json.loads(out.read_text())
+        assert "info" in document and "slowlog" in document
+
+    def test_cli_diff_mode(self, server, tmp_path):
+        host, port = server.address
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        metrics_dump.main(["--host", host, "--port", str(port), "-o", str(a)])
+        with TcpKvClient(server.address) as client:
+            client.execute("SET", "x", "y")
+        metrics_dump.main(["--host", host, "--port", str(port), "-o", str(b)])
+        out = tmp_path / "d.json"
+        rc = metrics_dump.main(["--diff", str(a), str(b), "-o", str(out)])
+        assert rc == 0
+        delta = json.loads(out.read_text())["diff"]
+        assert delta["Stats"]["store.stats.keys_set"] == 1

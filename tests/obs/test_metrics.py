@@ -1,0 +1,179 @@
+"""Unit tests for the metrics core: counters, gauges, histograms, registry."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_increments_and_sums(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_rejects_negative(self):
+        c = Counter("c")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_concurrent_increments_never_lost(self):
+        c = Counter("c")
+
+        def worker():
+            for _ in range(10_000):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 40_000
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("g")
+        g.set(10)
+        g.add(-3)
+        assert g.value == 7
+
+    def test_pull_gauge_reads_source(self):
+        box = {"v": 1}
+        g = Gauge("g", fn=lambda: box["v"])
+        assert g.value == 1
+        box["v"] = 9
+        assert g.value == 9
+
+    def test_pull_gauge_rejects_set(self):
+        g = Gauge("g", fn=lambda: 0)
+        with pytest.raises(TypeError):
+            g.set(1)
+
+
+class TestHistogram:
+    def test_default_bounds_strictly_increasing(self):
+        assert list(DEFAULT_LATENCY_BOUNDS) == sorted(
+            set(DEFAULT_LATENCY_BOUNDS)
+        )
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=[1.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=[])
+
+    def test_observe_and_snapshot(self):
+        h = Histogram("h", bounds=[1.0, 10.0])
+        for v in (0.5, 0.7, 5.0, 99.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap.count == 4
+        assert snap.counts == (2, 1, 1)  # <=1, <=10, overflow
+        assert snap.vmin == 0.5
+        assert snap.vmax == 99.0
+        assert snap.mean == pytest.approx((0.5 + 0.7 + 5.0 + 99.0) / 4)
+
+    def test_empty_snapshot(self):
+        snap = Histogram("h", bounds=[1.0]).snapshot()
+        assert snap.count == 0
+        assert snap.quantile(0.5) == 0.0
+
+    def test_merge_requires_same_bounds(self):
+        a = Histogram("a", bounds=[1.0]).snapshot()
+        b = Histogram("b", bounds=[2.0]).snapshot()
+        with pytest.raises(ValueError):
+            a + b
+
+    def test_merge_adds(self):
+        ha = Histogram("a", bounds=[1.0, 10.0])
+        hb = Histogram("b", bounds=[1.0, 10.0])
+        ha.observe(0.5)
+        hb.observe(5.0)
+        merged = ha.snapshot() + hb.snapshot()
+        assert merged.count == 2
+        assert merged.vmin == 0.5
+        assert merged.vmax == 5.0
+
+    def test_quantiles_within_observed_range(self):
+        h = Histogram("h")
+        for v in (1e-5, 2e-5, 3e-4, 0.81):
+            h.observe(v)
+        snap = h.snapshot()
+        for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            assert snap.vmin <= snap.quantile(q) <= snap.vmax
+
+    def test_shared_cell_is_stable(self):
+        h = Histogram("h", bounds=[1.0])
+        assert h.shared_cell() is h.shared_cell()
+        h.shared_cell().observe(0, 0.5)
+        assert h.count == 1
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") is reg.counter("c")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_gauge_rebinds_to_new_source(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", fn=lambda: 1)
+        reg.gauge("g", fn=lambda: 2)  # fresh server over the same store
+        assert reg.snapshot()["g"] == 2
+
+    def test_snapshot_expands_histograms(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", bounds=[1.0]).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["h.count"] == 1
+        assert snap["h.sum"] == 0.5
+        assert "h.p50" in snap and "h.p99" in snap and "h.max" in snap
+
+    def test_snapshot_expands_multi_gauges(self):
+        reg = MetricsRegistry()
+        reg.multi_gauge("per", lambda: {"a.x": 1, "b.x": 2})
+        snap = reg.snapshot()
+        assert snap["per.a.x"] == 1
+        assert snap["per.b.x"] == 2
+
+    def test_raising_pull_gauge_is_skipped_not_fatal(self):
+        reg = MetricsRegistry()
+
+        def boom() -> float:
+            raise RuntimeError("dead source")
+
+        reg.gauge("bad", fn=boom)
+        reg.counter("good").inc()
+        snap = reg.snapshot()
+        assert "bad" not in snap
+        assert snap["good"] == 1
+        assert reg.gauge_errors == 1
+
+    def test_monotonic_snapshot_only_counters_and_hists(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(7)
+        reg.histogram("h", bounds=[1.0]).observe(0.5)
+        mono = reg.monotonic_snapshot()
+        assert mono["c"] == 3
+        assert "g" not in mono
+        assert mono["h.count"] == 1
+        assert mono["h.bucket0"] == 1

@@ -1,0 +1,93 @@
+"""KvObservability and the pull-gauge bindings."""
+
+from __future__ import annotations
+
+from repro.core.sma import SoftMemoryAllocator
+from repro.daemon.smd import SmdConfig, SoftMemoryDaemon
+from repro.kvstore.store import DataStore
+from repro.obs.plane import _MAX_CMD_NAMES, KvObservability, bind_smd
+
+
+class TestObserveCommand:
+    def test_counts_and_histograms_agree(self):
+        obs = KvObservability("t")
+        for i in range(50):
+            obs.observe_command(b"GET", 1e-5, [b"GET", b"k"])
+        obs.observe_command(b"SET", 2e-5, [b"SET", b"k", b"v"])
+        stats = obs.command_stats()
+        assert stats["GET"].count == 50
+        assert stats["SET"].count == 1
+        assert obs.commands == sum(s.count for s in stats.values())
+
+    def test_casings_share_one_histogram(self):
+        obs = KvObservability("t")
+        obs.observe_command(b"get", 1e-5, [b"get"])
+        obs.observe_command(b"GET", 1e-5, [b"GET"])
+        obs.observe_command(b"GeT", 1e-5, [b"GeT"])
+        assert obs.command_stats()["GET"].count == 3
+
+    def test_learned_names_bounded(self):
+        obs = KvObservability("t")
+        for i in range(_MAX_CMD_NAMES + 100):
+            obs.observe_command(b"CMD%d" % i, 1e-5, [b"CMD%d" % i])
+        assert len(obs._cmd_cells) <= _MAX_CMD_NAMES
+        # overflowing names are still counted, just not cached
+        assert obs.commands == _MAX_CMD_NAMES + 100
+
+    def test_slow_commands_reach_slowlog(self):
+        obs = KvObservability("t", slowlog_threshold_us=1000)
+        obs.observe_command(b"GET", 1e-5, [b"GET", b"fast"])
+        obs.observe_command(b"KEYS", 0.5, [b"KEYS", b"*"])
+        entries = obs.slowlog.entries()
+        assert len(entries) == 1
+        assert entries[0].argv[0] == b"KEYS"
+
+    def test_threshold_reconfigure(self):
+        obs = KvObservability("t", slowlog_threshold_us=10_000)
+        obs.set_slowlog_threshold_us(0)
+        obs.observe_command(b"GET", 1e-6, [b"GET", b"k"])
+        assert len(obs.slowlog) == 1
+
+    def test_batch_histogram(self):
+        obs = KvObservability("t")
+        obs.observe_batch(1)
+        obs.observe_batch(16)
+        snap = obs.batch_hist.snapshot()
+        assert snap.count == 2
+        assert snap.vmax == 16
+
+
+class TestBindings:
+    def test_store_owns_a_bound_plane(self):
+        store = DataStore(SoftMemoryAllocator(name="p"), name="p")
+        store.set(b"k", b"v")
+        snap = store.obs.registry.snapshot()
+        assert snap["store.keys"] == 1
+        assert snap["store.stats.keys_set"] == 1
+        assert snap["sma.stats.allocations"] >= 1
+        assert snap["sma.live_bytes"] > 0
+
+    def test_bind_smd_exposes_ledger_and_processes(self):
+        smd = SoftMemoryDaemon(
+            128, SmdConfig(startup_budget_pages=8)
+        )
+        sma = SoftMemoryAllocator(name="proc")
+        record = smd.register(sma)
+        store = DataStore(SoftMemoryAllocator(name="kv"), name="kv")
+        bind_smd(store.obs.registry, smd)
+        snap = store.obs.registry.snapshot()
+        assert snap["smd.capacity_pages"] == 128
+        assert snap["smd.assigned_pages"] == 8
+        assert snap["smd.pages_granted"] == 8
+        assert snap["smd.processes"] == 1
+        assert (
+            snap[f"smd.process.proc.{record.pid}.granted_pages"] == 8
+        )
+
+    def test_gauges_track_source_without_writes(self):
+        store = DataStore(SoftMemoryAllocator(name="p"), name="p")
+        reg = store.obs.registry
+        before = reg.snapshot()["store.keys"]
+        for i in range(10):
+            store.set(b"k%d" % i, b"v")
+        assert reg.snapshot()["store.keys"] == before + 10

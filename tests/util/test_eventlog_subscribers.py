@@ -1,0 +1,76 @@
+"""Subscriber fault containment: one broken observer must not blind
+the others or abort the state change being recorded."""
+
+from __future__ import annotations
+
+from repro.util.eventlog import EventLog
+
+
+def test_raising_subscriber_is_contained():
+    log = EventLog()
+
+    def boom(event):
+        raise RuntimeError("broken observer")
+
+    log.subscribe(boom)
+    event = log.record(1.0, "reclaim.start", pages=4)
+    assert len(log) == 1  # the event itself was still appended
+    assert log[0] is event
+    assert log.subscriber_errors == 1
+
+
+def test_later_subscribers_still_fire_after_a_raise():
+    log = EventLog()
+    seen: list[str] = []
+
+    def boom(event):
+        raise ValueError("first in line, always raises")
+
+    log.subscribe(boom)
+    log.subscribe(lambda e: seen.append(e.kind))
+    log.record(1.0, "request")
+    log.record(2.0, "grant")
+    assert seen == ["request", "grant"]
+    assert log.subscriber_errors == 2
+
+
+def test_subscriber_errors_count_per_callback_not_per_event():
+    log = EventLog()
+
+    def boom_a(event):
+        raise RuntimeError("a")
+
+    def boom_b(event):
+        raise RuntimeError("b")
+
+    log.subscribe(boom_a)
+    log.subscribe(boom_b)
+    log.record(1.0, "tick")
+    assert log.subscriber_errors == 2
+
+
+def test_unsubscribe_stops_delivery():
+    log = EventLog()
+    seen: list[str] = []
+
+    def listener(event):
+        seen.append(event.kind)
+
+    log.subscribe(listener)
+    log.record(1.0, "before")
+    log.unsubscribe(listener)
+    log.record(2.0, "after")
+    assert seen == ["before"]
+
+
+def test_unsubscribing_a_broken_observer_stops_the_error_count():
+    log = EventLog()
+
+    def boom(event):
+        raise RuntimeError("broken")
+
+    log.subscribe(boom)
+    log.record(1.0, "tick")
+    log.unsubscribe(boom)
+    log.record(2.0, "tick")
+    assert log.subscriber_errors == 1

@@ -1,0 +1,126 @@
+"""Property-based tests (hypothesis) for percentile and the obs histogram.
+
+These pin the algebraic contracts the observability plane leans on:
+percentiles stay inside the sample range and are monotone in ``pct``;
+histogram merge is count-additive and quantiles are monotone in ``q``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import Histogram, _HistCell
+from repro.util.stats import percentile
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+samples = st.lists(finite_floats, min_size=1, max_size=200)
+positive_floats = st.floats(
+    min_value=1e-9, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+observations = st.lists(positive_floats, min_size=0, max_size=200)
+
+
+class TestPercentileProperties:
+    @given(samples, st.floats(min_value=0, max_value=100))
+    @settings(max_examples=200, deadline=None)
+    def test_result_within_sample_range(self, values, pct):
+        result = percentile(values, pct)
+        assert min(values) <= result <= max(values)
+
+    @given(samples, st.floats(min_value=0, max_value=100),
+           st.floats(min_value=0, max_value=100))
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_pct(self, values, p_a, p_b):
+        lo, hi = sorted((p_a, p_b))
+        assert percentile(values, lo) <= percentile(values, hi)
+
+    @given(samples)
+    @settings(max_examples=100, deadline=None)
+    def test_endpoints_are_min_and_max(self, values):
+        assert percentile(values, 0) == min(values)
+        assert percentile(values, 100) == max(values)
+
+    @given(samples)
+    @settings(max_examples=100, deadline=None)
+    def test_order_invariant(self, values):
+        assert percentile(values, 75) == percentile(
+            list(reversed(values)), 75
+        )
+
+
+class TestHistogramProperties:
+    @given(observations)
+    @settings(max_examples=100, deadline=None)
+    def test_counts_sum_to_count(self, values):
+        h = Histogram("h")
+        for v in values:
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap.count == len(values)
+        assert sum(snap.counts) == len(values)
+
+    @given(observations, observations)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_is_count_additive(self, left, right):
+        ha, hb = Histogram("a"), Histogram("b")
+        for v in left:
+            ha.observe(v)
+        for v in right:
+            hb.observe(v)
+        merged = ha.snapshot() + hb.snapshot()
+        assert merged.count == len(left) + len(right)
+        assert merged.total == ha.snapshot().total + hb.snapshot().total
+        if left or right:
+            assert merged.vmin == min(left + right)
+            assert merged.vmax == max(left + right)
+
+    @given(st.lists(positive_floats, min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_quantile_monotone_and_bounded(self, values):
+        h = Histogram("h")
+        for v in values:
+            h.observe(v)
+        snap = h.snapshot()
+        quantiles = [snap.quantile(q / 10) for q in range(11)]
+        assert quantiles == sorted(quantiles)
+        assert all(snap.vmin <= q <= snap.vmax for q in quantiles)
+
+    @given(st.lists(positive_floats, min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_mean_matches_arithmetic_mean(self, values):
+        h = Histogram("h")
+        for v in values:
+            h.observe(v)
+        snap = h.snapshot()
+        expected = sum(values) / len(values)
+        assert abs(snap.mean - expected) <= 1e-9 * max(1.0, abs(expected))
+
+    @given(st.lists(positive_floats, min_size=1, max_size=100),
+           st.integers(min_value=2, max_value=4))
+    @settings(max_examples=50, deadline=None)
+    def test_sharded_observation_equals_single_stream(self, values, shards):
+        """Per-thread cells must aggregate to the same snapshot."""
+        single = Histogram("s")
+        for v in values:
+            single.observe(v)
+        sharded = Histogram("m")
+        cells = []
+        for i in range(shards):
+            cell = _HistCell(len(sharded.bounds) + 1)
+            sharded._cells[("shard", i)] = cell  # type: ignore[index]
+            cells.append(cell)
+        bounds = sharded.bounds
+        for i, v in enumerate(values):
+            cells[i % shards].observe(bisect_left(bounds, v), v)
+        got, want = sharded.snapshot(), single.snapshot()
+        assert got.counts == want.counts
+        assert got.count == want.count
+        assert got.vmin == want.vmin
+        assert got.vmax == want.vmax
+        # summation order differs across cells; totals agree to an ulp
+        assert abs(got.total - want.total) <= 1e-9 * max(1.0, want.total)
