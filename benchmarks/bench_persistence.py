@@ -1,0 +1,251 @@
+"""Durability cost: event-loop serving throughput across fsync policies.
+
+The write-behind AOF is flushed once per batch (after the store lock is
+released, before replies go out), so its cost at the headline load —
+64 connections × pipeline depth 16, the same SET/GET wave driver as
+``bench_server_throughput`` — should be one buffered ``write(2)`` per
+wave per connection batch, not per command. This benchmark measures
+exactly that: the same server, same driver, three persistence modes:
+
+* ``off``      — no persistence attached (the BENCH_server baseline);
+* ``everysec`` — batched write-behind, fsync deferred to a 1 s cadence
+  (the acceptance mode: must hold ≥ 90% of the ``off`` throughput);
+* ``always``   — fsync before every batch's replies (the full-durability
+  price, reported for the record, not gated).
+
+Each mode's run writes a real log to a throwaway directory; the row
+records how many AOF bytes the workload generated so the throughput
+numbers can be read against actual I/O volume.
+
+Configuration:
+
+* ``BENCH_PERSIST_SECONDS`` — seconds per mode (default 0.25: CI-smoke
+  scale; the committed ``BENCH_persist.json`` uses 2.0).
+* ``BENCH_PERSIST_JSON`` — path to write results (default: skip).
+
+Run:  pytest benchmarks/bench_persistence.py --benchmark-only -q -s
+or:   python benchmarks/bench_persistence.py   (full config, writes
+      BENCH_persist.json in the repo root)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import socket
+import tempfile
+import time
+
+from repro.core.locking import LockedSoftMemoryAllocator
+from repro.kvstore.persist.engine import Persistence, PersistenceConfig
+from repro.kvstore.resp import RespParser, encode_command
+from repro.kvstore.store import DataStore
+from repro.kvstore.tcp import TcpKvServer
+
+MODES = ("off", "everysec", "always")
+CONNECTIONS = 64
+DEPTH = 16
+#: everysec must keep this fraction of the no-persistence throughput
+EVERYSEC_FLOOR = 0.90
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def _build_payload(conn_id: int, depth: int) -> bytes:
+    """Same SET/GET alternation as the serving-plane baseline."""
+    parts = []
+    for i in range(depth):
+        if i % 2 == 0:
+            parts.append(
+                encode_command("SET", f"c{conn_id}:k{i % 64}", f"v{i}")
+            )
+        else:
+            parts.append(encode_command("GET", f"c{conn_id}:k{(i - 1) % 64}"))
+    return b"".join(parts)
+
+
+def run_mode(mode: str, seconds: float) -> dict:
+    store = DataStore(LockedSoftMemoryAllocator(name=f"bench-persist-{mode}"))
+    persist = None
+    data_dir = None
+    if mode != "off":
+        data_dir = tempfile.mkdtemp(prefix=f"bench-persist-{mode}-")
+        persist = Persistence(
+            PersistenceConfig(dir=data_dir, appendfsync=mode)
+        )
+        store.attach_persistence(persist)
+    server = TcpKvServer(store).start()  # event loop: the headline plane
+    socks: list[socket.socket] = []
+    try:
+        payloads = []
+        for cid in range(CONNECTIONS):
+            sock = socket.create_connection(server.address, timeout=30)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            socks.append(sock)
+            payloads.append(_build_payload(cid, DEPTH))
+
+        def verified_wave() -> list[int]:
+            sizes = []
+            for sock, payload in zip(socks, payloads):
+                sock.sendall(payload)
+            for sock in socks:
+                parser = RespParser()
+                got = 0
+                nbytes = 0
+                while got < DEPTH:
+                    data = sock.recv(65536)
+                    if not data:
+                        raise ConnectionError("server closed mid-wave")
+                    nbytes += len(data)
+                    parser.feed(data)
+                    got += len(parser.parse_all())
+                if got != DEPTH or parser.buffered_bytes:
+                    raise RuntimeError("reply desync")
+                sizes.append(nbytes)
+            return sizes
+
+        verified_wave()
+        expected_sizes = verified_wave()
+
+        def wave() -> None:
+            for sock, payload in zip(socks, payloads):
+                sock.sendall(payload)
+            for sock, expected in zip(socks, expected_sizes):
+                nbytes = 0
+                while nbytes < expected:
+                    data = sock.recv(65536)
+                    if not data:
+                        raise ConnectionError("server closed mid-wave")
+                    nbytes += len(data)
+
+        latencies: list[float] = []
+        started = time.perf_counter()
+        deadline = started + seconds
+        while time.perf_counter() < deadline:
+            t0 = time.perf_counter()
+            wave()
+            latencies.append(time.perf_counter() - t0)
+        elapsed = time.perf_counter() - started
+        ops = len(latencies) * CONNECTIONS * DEPTH
+        row = {
+            "mode": mode,
+            "connections": CONNECTIONS,
+            "depth": DEPTH,
+            "waves": len(latencies),
+            "ops": ops,
+            "ops_per_sec": ops / elapsed,
+            "wave_p50_ms": 1000 * percentile(latencies, 0.50),
+            "wave_p99_ms": 1000 * percentile(latencies, 0.99),
+            "aof_bytes": 0,
+            "aof_records": 0,
+            "fsyncs": 0,
+        }
+        if persist is not None:
+            persist.flush(force_fsync=True)
+            row["aof_bytes"] = persist.aof_size
+            row["aof_records"] = persist.stats.aof_records
+            row["fsyncs"] = persist._writer.fsyncs if persist._writer else 0
+        return row
+    finally:
+        for sock in socks:
+            sock.close()
+        server.stop()
+        if persist is not None:
+            persist.close()
+        if data_dir is not None:
+            shutil.rmtree(data_dir, ignore_errors=True)
+
+
+def summarize(rows: list[dict]) -> dict:
+    by_mode = {row["mode"]: row for row in rows}
+    off = by_mode["off"]["ops_per_sec"]
+    return {
+        "connections": CONNECTIONS,
+        "depth": DEPTH,
+        "off_ops_per_sec": round(off, 1),
+        "everysec_ops_per_sec": round(by_mode["everysec"]["ops_per_sec"], 1),
+        "always_ops_per_sec": round(by_mode["always"]["ops_per_sec"], 1),
+        "everysec_ratio": round(by_mode["everysec"]["ops_per_sec"] / off, 3),
+        "always_ratio": round(by_mode["always"]["ops_per_sec"] / off, 3),
+    }
+
+
+def print_table(rows: list[dict], headline: dict) -> None:
+    print("\n")
+    print("=" * 78)
+    print("Durability cost: event-loop throughput by appendfsync policy "
+          f"({CONNECTIONS} conns x depth {DEPTH})")
+    print("-" * 78)
+    print(f"{'mode':>10} {'ops/s':>10} {'p50 ms':>9} {'p99 ms':>9} "
+          f"{'AOF MiB':>9} {'fsyncs':>7}")
+    for row in rows:
+        print(f"{row['mode']:>10} {row['ops_per_sec']:>10.0f} "
+              f"{row['wave_p50_ms']:>9.3f} {row['wave_p99_ms']:>9.3f} "
+              f"{row['aof_bytes'] / 2**20:>9.2f} {row['fsyncs']:>7}")
+    print("-" * 78)
+    print(f"everysec holds {100 * headline['everysec_ratio']:.1f}% of the "
+          f"no-persistence baseline; always holds "
+          f"{100 * headline['always_ratio']:.1f}%")
+    print("=" * 78)
+
+
+def write_json(rows: list[dict], headline: dict, path: str,
+               seconds: float) -> None:
+    document = {
+        "benchmark": "bench_persistence",
+        "seconds_per_mode": seconds,
+        "baseline_note": "compare off_ops_per_sec with the event-loop "
+                         "headline in BENCH_server.json (same driver)",
+        "headline": headline,
+        "results": rows,
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+
+
+def test_everysec_holds_throughput(benchmark):
+    seconds = float(os.environ.get("BENCH_PERSIST_SECONDS", "0.25"))
+
+    def measure():
+        return [run_mode(mode, seconds) for mode in MODES]
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    headline = summarize(rows)
+    print_table(rows, headline)
+
+    json_path = os.environ.get("BENCH_PERSIST_JSON")
+    if json_path:
+        write_json(rows, headline, json_path, seconds)
+
+    for row in rows:
+        assert row["waves"] >= 1, f"{row} produced no complete wave"
+    # the durability modes really logged the workload's writes
+    for row in rows[1:]:
+        assert row["aof_bytes"] > 0 and row["aof_records"] > 0
+    # acceptance: batched write-behind with deferred fsync stays within
+    # 10% of the no-persistence serving plane
+    assert headline["everysec_ratio"] >= EVERYSEC_FLOOR, (
+        f"everysec kept only {100 * headline['everysec_ratio']:.1f}% of "
+        f"baseline throughput ({headline['everysec_ops_per_sec']:.0f} vs "
+        f"{headline['off_ops_per_sec']:.0f} ops/s)"
+    )
+
+
+def main() -> None:
+    seconds = float(os.environ.get("BENCH_PERSIST_SECONDS", "2.0"))
+    rows = [run_mode(mode, seconds) for mode in MODES]
+    headline = summarize(rows)
+    print_table(rows, headline)
+    path = os.environ.get("BENCH_PERSIST_JSON", "BENCH_persist.json")
+    write_json(rows, headline, path, seconds)
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

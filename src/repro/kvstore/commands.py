@@ -195,6 +195,60 @@ def cmd_flushall(store: DataStore, args: list[bytes]) -> Any:
     return OK
 
 
+_NO_PERSISTENCE = RespError(
+    "ERR persistence is not configured (start the server with a data dir)"
+)
+
+
+def cmd_save(store: DataStore, args: list[bytes]) -> Any:
+    """SAVE: synchronous checkpoint (snapshot + AOF rotation)."""
+    if args:
+        return _wrong_args("save")
+    persist = store.persistence
+    if persist is None:
+        return _NO_PERSISTENCE
+    if not persist.checkpoint(background=False):
+        return RespError("ERR Background save already in progress")
+    return OK
+
+
+def cmd_bgsave(store: DataStore, args: list[bytes]) -> Any:
+    """BGSAVE: materialize under the lock, serialize in a thread."""
+    if args:
+        return _wrong_args("bgsave")
+    persist = store.persistence
+    if persist is None:
+        return _NO_PERSISTENCE
+    if not persist.checkpoint(background=True):
+        return RespError("ERR Background save already in progress")
+    return SimpleString("Background saving started")
+
+
+def cmd_bgrewriteaof(store: DataStore, args: list[bytes]) -> Any:
+    """BGREWRITEAOF: a checkpoint *is* the rewrite — the new base
+    snapshot carries exactly the live keys and the fresh incremental
+    log starts empty, so the on-disk footprint is proportional to the
+    keyspace again no matter how much history the old log held."""
+    if args:
+        return _wrong_args("bgrewriteaof")
+    persist = store.persistence
+    if persist is None:
+        return _NO_PERSISTENCE
+    if not persist.checkpoint(background=True):
+        return RespError("ERR Background append only file rewriting "
+                         "already in progress")
+    return SimpleString("Background append only file rewriting started")
+
+
+def cmd_lastsave(store: DataStore, args: list[bytes]) -> Any:
+    if args:
+        return _wrong_args("lastsave")
+    persist = store.persistence
+    if persist is None:
+        return _NO_PERSISTENCE
+    return persist.stats.rdb_last_save_time
+
+
 def _fmt_metric(value: Any) -> Any:
     if isinstance(value, float):
         return f"{value:.6g}"
@@ -242,9 +296,32 @@ def _info_sections(store: DataStore) -> list[tuple[str, list[str]]]:
         latency.append(f"cmd.{name}.p50_us:{snap.quantile(0.5) * 1e6:.1f}")
         latency.append(f"cmd.{name}.p99_us:{snap.quantile(0.99) * 1e6:.1f}")
         latency.append(f"cmd.{name}.max_us:{snap.vmax * 1e6:.1f}")
+    persist = store.persistence
+    if persist is None:
+        persistence = ["enabled:0", "aof_enabled:0"]
+    else:
+        persistence = [
+            "enabled:1",
+            f"aof_enabled:{int(persist.aof_enabled)}",
+            f"appendfsync:{persist.config.appendfsync}",
+            f"dir:{persist.config.dir}",
+            f"generation:{persist.generation}",
+            f"aof_size:{persist.aof_size}",
+            f"aof_pending_bytes:{persist.aof_pending_bytes}",
+            f"rdb_bgsave_in_progress:{int(persist.bgsave_in_progress)}",
+            f"rdb_last_bgsave_status:"
+            f"{'err' if persist.last_bgsave_error else 'ok'}",
+            f"fsync_errors:{persist.fsync_errors}",
+            f"write_errors:{persist.write_errors}",
+        ]
+        persistence.extend(
+            f"{name}:{value}"
+            for name, value in persist.stats.as_dict().items()
+        )
     return [
         ("Server", server),
         ("Keyspace", keyspace),
+        ("Persistence", persistence),
         ("SoftMemory", soft),
         ("Stats", stats),
         ("Latency", latency),
@@ -310,23 +387,39 @@ def cmd_slowlog(store: DataStore, args: list[bytes]) -> Any:
     )
 
 
-#: CONFIG parameters we implement, mapping to the slowlog knobs
-_CONFIG_PARAMS = (b"slowlog-log-slower-than", b"slowlog-max-len")
+#: CONFIG parameters we implement: slowlog and persistence knobs
+_CONFIG_PARAMS = (
+    b"appendfsync",
+    b"appendonly",
+    b"dir",
+    b"slowlog-log-slower-than",
+    b"slowlog-max-len",
+)
 
 
 def cmd_config(store: DataStore, args: list[bytes]) -> Any:
-    """CONFIG GET/SET for the slowlog knobs (Redis parameter names)."""
+    """CONFIG GET/SET for the slowlog and persistence knobs."""
     if len(args) < 2:
         return _wrong_args("config")
     sub = args[0].upper()
     obs = store.obs
+    persist = store.persistence
     if sub == b"GET":
         pattern = args[1].lower()
         flat: list[bytes] = []
-        values = {
+        values: dict[bytes, Any] = {
             b"slowlog-log-slower-than": obs.slowlog_threshold_us,
             b"slowlog-max-len": obs.slowlog.max_len,
+            b"appendonly": "no",
+            b"appendfsync": "everysec",
+            b"dir": "",
         }
+        if persist is not None:
+            values[b"appendonly"] = (
+                "yes" if persist.config.appendonly else "no"
+            )
+            values[b"appendfsync"] = persist.config.appendfsync
+            values[b"dir"] = persist.config.dir
         regex = _glob_regex(pattern)
         for param in _CONFIG_PARAMS:
             if regex is None or regex.match(param):
@@ -348,6 +441,34 @@ def cmd_config(store: DataStore, args: list[bytes]) -> Any:
                 )
             obs.slowlog.set_max_len(value)
             return OK
+        if param == b"appendonly":
+            if persist is None:
+                return _NO_PERSISTENCE
+            flag = args[2].lower()
+            if flag not in (b"yes", b"no"):
+                return RespError(
+                    "ERR CONFIG SET failed - argument must be 'yes' or 'no'"
+                )
+            persist.set_appendonly(flag == b"yes")
+            return OK
+        if param == b"appendfsync":
+            if persist is None:
+                return _NO_PERSISTENCE
+            try:
+                persist.set_appendfsync(args[2].lower().decode("ascii"))
+            except (ValueError, UnicodeDecodeError):
+                return RespError(
+                    "ERR CONFIG SET failed - argument must be one of "
+                    "'always', 'everysec', 'no'"
+                )
+            return OK
+        if param == b"dir":
+            # the data dir anchors recovery; moving it mid-flight would
+            # orphan the generation chain, so it is fixed at startup
+            return RespError(
+                "ERR CONFIG SET dir is not supported at runtime - "
+                "pass the data dir at startup"
+            )
         return RespError(
             f"ERR Unknown option or number of arguments for CONFIG SET - "
             f"'{param.decode(errors='backslashreplace')}'"
@@ -597,6 +718,10 @@ COMMANDS: dict[bytes, Handler] = {
     b"KEYS": cmd_keys,
     b"DBSIZE": cmd_dbsize,
     b"FLUSHALL": cmd_flushall,
+    b"SAVE": cmd_save,
+    b"BGSAVE": cmd_bgsave,
+    b"BGREWRITEAOF": cmd_bgrewriteaof,
+    b"LASTSAVE": cmd_lastsave,
     b"INFO": cmd_info,
     b"SLOWLOG": cmd_slowlog,
     b"CONFIG": cmd_config,

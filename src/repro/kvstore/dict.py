@@ -184,7 +184,23 @@ class SoftDict(SoftDataStructure):
         self._maybe_start_rehash()
         target = self._ht1 if self.is_rehashing else self._ht0
         assert target is not None
-        ptr = self._alloc(want, (key, value))
+        try:
+            ptr = self._alloc(want, (key, value))
+        except Exception:
+            if existing is not None:
+                # The size-changing overwrite already unchained and
+                # freed the old entry; a denied re-alloc means it is
+                # lost. Report the loss through the reclamation
+                # callback so the owner's ledgers (and any durability
+                # log) record that the key is gone — otherwise memory
+                # and disk would disagree about its existence.
+                self.evictions += 1
+                if self._context.callback is not None:
+                    try:
+                        self._context.callback((key, old_value))
+                    except Exception:
+                        self._context.callback_errors += 1
+            raise
         slot = self._hash(key) & target.mask
         bucket = target.buckets[slot]
         if bucket is None:

@@ -1,0 +1,260 @@
+"""Append-only log writer and tail-tolerant reader.
+
+:class:`AofWriter` owns one incremental log file. Mutation hooks append
+encoded records into an in-memory *write-behind* buffer (one
+``bytearray`` append per record, no I/O on the command path); the
+serving loop flushes the buffer once per pipelined batch, and the
+fsync policy decides how often durability is actually bought:
+
+* ``always``  — fsync on every flush (acked writes survive kill -9);
+* ``everysec`` — fsync at most once per second (Redis's default
+  trade: bounded loss window, near-zero fsync tax);
+* ``no``      — never fsync; the OS flushes on its own schedule.
+
+The writer tracks ``good_size`` — bytes known to have reached the file
+intact. When a write fails midway (short write, ENOSPC), it rolls the
+file back to ``good_size`` with ``truncate`` so a retried flush cannot
+leave a duplicated half-record in the middle of the log; if even the
+rollback fails, the dirty tail is left for recovery's CRC scan to cut
+off. Either way the pending buffer is retained and retried — an I/O
+error never drops acknowledged mutations silently.
+
+:func:`load_aof` reads a log back: it scans frames until the first
+torn or CRC-corrupt one, decodes the valid prefix, and (optionally)
+truncates the file at the last valid record so the next writer appends
+onto a clean tail. Garbage never raises.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Protocol
+
+from repro.kvstore.persist.codec import (
+    CorruptRecord,
+    decode_record,
+    scan_frames,
+)
+
+FSYNC_POLICIES = ("always", "everysec", "no")
+
+
+class BinaryFile(Protocol):
+    """What the writer needs from a file — real or fault-injected."""
+
+    def write(self, data: bytes) -> int: ...
+
+    def fsync(self) -> None: ...
+
+    def truncate(self, size: int) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class RealFile:
+    """Thin ``os``-level file: append position, explicit fsync/truncate."""
+
+    def __init__(self, path: str) -> None:
+        self._fd = os.open(path, os.O_CREAT | os.O_RDWR, 0o644)
+        os.lseek(self._fd, 0, os.SEEK_END)
+
+    def write(self, data: bytes) -> int:
+        return os.write(self._fd, data)
+
+    def fsync(self) -> None:
+        os.fsync(self._fd)
+
+    def truncate(self, size: int) -> None:
+        os.ftruncate(self._fd, size)
+        os.lseek(self._fd, size, os.SEEK_SET)
+
+    def close(self) -> None:
+        try:
+            os.close(self._fd)
+        except OSError:
+            pass
+
+
+FileFactory = Callable[[str], BinaryFile]
+
+
+class AofWriter:
+    """Write-behind appender for one incremental log file."""
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        fsync_policy: str = "everysec",
+        fsync_interval: float = 1.0,
+        file_factory: FileFactory = RealFile,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if fsync_policy not in FSYNC_POLICIES:
+            raise ValueError(f"unknown fsync policy {fsync_policy!r}")
+        self.path = path
+        self.fsync_policy = fsync_policy
+        self.fsync_interval = fsync_interval
+        self._clock = clock
+        self._file: BinaryFile | None = file_factory(path)
+        self._pending = bytearray()
+        #: bytes known to be intact in the file (resume point on error)
+        self.good_size = os.path.getsize(path) if os.path.exists(path) else 0
+        #: bytes covered by the last successful fsync — read-only
+        #: batches must not pay for fsyncs of nothing
+        self._synced_size = self.good_size
+        self._last_fsync = clock()
+        self.records_appended = 0
+        self.fsyncs = 0
+        self.fsync_errors = 0
+        self.write_errors = 0
+        #: a failed write whose rollback also failed: the file tail is
+        #: unverified and only recovery's CRC scan can clean it
+        self.dirty_tail = False
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._pending)
+
+    @property
+    def buffer(self) -> bytearray:
+        """The write-behind buffer mutation hooks encode into."""
+        return self._pending
+
+    def note_records(self, count: int) -> None:
+        """Account records encoded directly into :attr:`buffer`."""
+        self.records_appended += count
+
+    def append(self, record: bytes) -> None:
+        """Queue one already-framed record (slow path, tests/tools)."""
+        self._pending += record
+        self.records_appended += 1
+
+    # ------------------------------------------------------------------
+
+    def flush(self, *, force_fsync: bool = False) -> bool:
+        """Push the pending buffer to the file, fsync per policy.
+
+        Returns True when the pending buffer fully reached the file.
+        On a write error the file is rolled back to the last known-good
+        size and the buffer is kept for the next flush.
+        """
+        file = self._file
+        if file is None:
+            return not self._pending
+        if self._pending:
+            data = bytes(self._pending)
+            written = 0
+            try:
+                while written < len(data):
+                    written += file.write(data[written:])
+            except OSError:
+                self.write_errors += 1
+                # Roll back to the clean prefix so a retry cannot leave
+                # half a record buried mid-file. The pending buffer is
+                # untouched: nothing acknowledged is dropped.
+                try:
+                    file.truncate(self.good_size)
+                except OSError:
+                    self.dirty_tail = True
+                return False
+            self.good_size += len(data)
+            self._pending.clear()
+        unsynced = self.good_size > self._synced_size
+        if force_fsync:
+            if unsynced:
+                self._fsync(file)
+        elif self.fsync_policy == "always":
+            if unsynced:
+                self._fsync(file)
+        elif self.fsync_policy == "everysec":
+            now = self._clock()
+            if unsynced and now - self._last_fsync >= self.fsync_interval:
+                self._fsync(file)
+        return True
+
+    def _fsync(self, file: BinaryFile) -> None:
+        try:
+            file.fsync()
+            self.fsyncs += 1
+            self._synced_size = self.good_size
+        except OSError:
+            self.fsync_errors += 1
+        self._last_fsync = self._clock()
+
+    def close(self, *, flush: bool = True) -> None:
+        """Flush (with fsync) and close. Idempotent."""
+        file = self._file
+        if file is None:
+            return
+        if flush:
+            self.flush(force_fsync=True)
+        self._file = None
+        file.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._file is None
+
+    def __repr__(self) -> str:
+        return (
+            f"<AofWriter {self.path!r} good={self.good_size}B "
+            f"pending={len(self._pending)}B policy={self.fsync_policy}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+
+
+def load_aof(
+    path: str, *, truncate: bool = True
+) -> tuple[list[tuple], int]:
+    """Read a log file; return ``(records, truncated_bytes)``.
+
+    Scans the frame stream up to the first torn or corrupt frame; every
+    byte past that point counts as truncated. A frame whose CRC passes
+    but whose payload fails to decode also ends the valid prefix (it
+    can only come from a logic bug or hand-edited bytes, and replaying
+    past it would risk phantom state). With ``truncate`` the file is
+    physically cut back to the valid prefix so subsequent appends
+    continue from a clean tail. A missing file is an empty log.
+    """
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except FileNotFoundError:
+        return [], 0
+    payloads, valid_size = scan_frames(data)
+    records: list[tuple] = []
+    for index, payload in enumerate(payloads):
+        try:
+            records.append(decode_record(payload))
+        except CorruptRecord:
+            # recompute the prefix that ends just before this payload
+            valid_size = _prefix_size(payloads[:index])
+            break
+    if truncate and valid_size < len(data):
+        _truncate_file(path, valid_size)
+    return records, len(data) - valid_size
+
+
+def _prefix_size(payloads: list[bytes]) -> int:
+    from repro.kvstore.persist.codec import HEADER_SIZE
+
+    return sum(HEADER_SIZE + len(p) for p in payloads)
+
+
+def _truncate_file(path: str, size: int) -> None:
+    try:
+        fd = os.open(path, os.O_RDWR)
+    except OSError:
+        return
+    try:
+        os.ftruncate(fd, size)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

@@ -1,0 +1,116 @@
+"""Point-in-time snapshots: a rewritten log sealed with a trailer.
+
+A snapshot file is::
+
+    MAGIC | framed W record per live key | framed Z trailer
+
+The W records carry absolute unix-millisecond deadlines (or no expiry),
+so loading a snapshot is exactly replaying it — one replay path serves
+both files. The Z trailer proves completeness: it repeats the entry
+count, so a snapshot whose write was interrupted (missing or torn
+trailer, count mismatch, any bad frame) is *invalid as a whole* and
+recovery falls back to an older generation. Contrast with the
+append-only log, where a torn tail costs only the suffix — a snapshot
+is not a log of independent events but one atomic state capture.
+
+Writes are crash-atomic: serialize to ``<path>.tmp``, fsync, rename
+over the final name, fsync the directory. A reader can never observe a
+half-written file under the final name.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.kvstore.persist.codec import (
+    EXP_ABSOLUTE,
+    EXP_NONE,
+    CorruptRecord,
+    decode_record,
+    encode_trailer,
+    encode_write,
+    scan_frames,
+)
+from repro.kvstore.values import Value
+
+MAGIC = b"RPROSNAP1\n"
+
+#: one snapshot entry: key, typed value, absolute unix-ms deadline or None
+SnapshotEntry = tuple[bytes, Value, "int | None"]
+
+
+def write_snapshot(
+    path: str, entries: list[SnapshotEntry], saved_unix_ms: int
+) -> int:
+    """Serialize ``entries`` atomically to ``path``; return bytes written."""
+    out = bytearray(MAGIC)
+    for key, value, deadline_ms in entries:
+        if deadline_ms is None:
+            encode_write(out, key, value, EXP_NONE)
+        else:
+            encode_write(out, key, value, EXP_ABSOLUTE, deadline_ms)
+    encode_trailer(out, len(entries), saved_unix_ms)
+    tmp = path + ".tmp"
+    fd = os.open(tmp, os.O_CREAT | os.O_WRONLY | os.O_TRUNC, 0o644)
+    try:
+        os.write(fd, bytes(out))
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    os.replace(tmp, path)
+    _fsync_dir(os.path.dirname(path) or ".")
+    return len(out)
+
+
+def read_snapshot(path: str) -> tuple[list[SnapshotEntry], int] | None:
+    """Load and validate a snapshot; ``None`` means *invalid or missing*.
+
+    Valid requires: magic intact, every frame scanning cleanly to the
+    end of the file, the final record being a Z trailer whose count
+    matches the number of entries. Never raises on garbage.
+    """
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except OSError:
+        return None
+    if not data.startswith(MAGIC):
+        return None
+    body = data[len(MAGIC):]
+    payloads, valid_size = scan_frames(body)
+    if valid_size != len(body) or not payloads:
+        return None  # torn tail or trailing garbage: not a sealed capture
+    entries: list[SnapshotEntry] = []
+    trailer: tuple | None = None
+    for index, payload in enumerate(payloads):
+        try:
+            record = decode_record(payload)
+        except CorruptRecord:
+            return None
+        if record[0] == "Z":
+            if index != len(payloads) - 1:
+                return None  # trailer must seal the file
+            trailer = record
+        elif record[0] == "W":
+            __, key, value, exp_kind, deadline = record
+            entries.append(
+                (key, value, deadline if exp_kind == EXP_ABSOLUTE else None)
+            )
+        else:
+            return None  # snapshots hold only W records + the trailer
+    if trailer is None or trailer[1] != len(entries):
+        return None
+    return entries, trailer[2]
+
+
+def _fsync_dir(path: str) -> None:
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

@@ -23,17 +23,25 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Any, Callable, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 from repro.core.sma import SoftMemoryAllocator
 from repro.kvstore.dict import SoftDict
-from repro.obs.plane import KvObservability, bind_sma, bind_store
+from repro.obs.plane import (
+    KvObservability,
+    bind_persistence,
+    bind_sma,
+    bind_store,
+)
 from repro.kvstore.values import (
     Value,
     expect_type,
     type_name,
     value_bytes,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kvstore.persist.engine import Persistence
 
 
 @lru_cache(maxsize=256)
@@ -117,6 +125,8 @@ class DataStore:
         #: bytes of keys+values held in traditional memory
         self.traditional_bytes = 0
         self._rng = random.Random(0)
+        #: durability plane; None until :meth:`attach_persistence`
+        self._persist: "Persistence | None" = None
         #: observability plane shared by every server wrapping this store
         self.obs = KvObservability(name=name)
         bind_store(self.obs.registry, self)
@@ -140,6 +150,9 @@ class DataStore:
         self.traditional_bytes -= len(key) + value_bytes(value)
         self._expires.pop(key, None)
         self.stats.reclaimed_keys += 1
+        if self._persist is not None:
+            # dropped soft data must stay dropped across a restart
+            self._persist.log_tombstone(key)
 
     @property
     def soft_bytes(self) -> int:
@@ -264,6 +277,10 @@ class DataStore:
         elif not keep_ttl:
             self._expires.pop(key, None)
         self.stats.keys_set += 1
+        if self._persist is not None:
+            # effect-based logging: INCR/APPEND/HSET all funnel here,
+            # so the log carries resulting state and replays verbatim
+            self._persist.log_write(key, value, ex, keep_ttl)
 
     def _recharge(self, key: bytes, value: Value) -> None:
         """Re-charge an entry after in-place mutation of its value."""
@@ -510,6 +527,10 @@ class DataStore:
         self._dict.delete(key)
         self._expires.pop(key, None)
         self.traditional_bytes -= len(key) + value_bytes(value)
+        if self._persist is not None:
+            # expiry-driven deletes flow through here too: an expired
+            # key is propagated as a delete, the way Redis logs DEL
+            self._persist.log_delete(key)
         return True
 
     def exists(self, *keys: bytes) -> int:
@@ -551,6 +572,8 @@ class DataStore:
         if self._check_expired(key) or key not in self._dict:
             return False
         self._set_expiry(key, self._now() + seconds)
+        if self._persist is not None:
+            self._persist.log_expire(key, seconds)
         return True
 
     def expireat(self, key: bytes, deadline: float) -> bool:
@@ -558,6 +581,8 @@ class DataStore:
         if self._check_expired(key) or key not in self._dict:
             return False
         self._set_expiry(key, deadline)
+        if self._persist is not None:
+            self._persist.log_expire(key, deadline - self._now())
         return True
 
     def ttl(self, key: bytes) -> int:
@@ -577,7 +602,10 @@ class DataStore:
     def persist(self, key: bytes) -> bool:
         if self._check_expired(key) or key not in self._dict:
             return False
-        return self._expires.pop(key, None) is not None
+        cleared = self._expires.pop(key, None) is not None
+        if cleared and self._persist is not None:
+            self._persist.log_persist(key)
+        return cleared
 
     # ------------------------------------------------------------------
     # keyspace commands
@@ -630,6 +658,74 @@ class DataStore:
         self._expires.clear()
         self._expiry_heap.clear()
         self.traditional_bytes = 0
+        if self._persist is not None:
+            self._persist.log_flush()
+
+    # ------------------------------------------------------------------
+    # durability plane
+    # ------------------------------------------------------------------
+
+    def attach_persistence(
+        self, persistence: "Persistence", *, recover: bool = True
+    ) -> "Persistence":
+        """Bind a :class:`~repro.kvstore.persist.engine.Persistence`.
+
+        Recovery (newest valid snapshot + AOF tail replay) runs before
+        logging starts, so replayed mutations are not re-logged. After
+        this returns, every mutation flows into the append-only log.
+        """
+        if self._persist is not None:
+            raise RuntimeError("a persistence plane is already attached")
+        self._persist = persistence  # hooks no-op while recovery replays
+        try:
+            persistence.attach(self, recover=recover)
+        except Exception:
+            self._persist = None
+            raise
+        bind_persistence(self.obs.registry, persistence)
+        return persistence
+
+    @property
+    def persistence(self) -> "Persistence | None":
+        return self._persist
+
+    def _restore_write(
+        self, key: bytes, value: Value, ex: float | None
+    ) -> None:
+        """Replay one write. Delete-first, then insert through the soft
+        allocator (the SMD budget gates re-admission): a denied alloc
+        propagates with all ledgers clean and the key absent — the
+        entry becomes a future cache miss, exactly like reclamation.
+        Client-facing stats are not touched.
+        """
+        self._delete_raw(key)
+        self._dict.upsert(key, value, size=self._entry_size(key, value))
+        self.traditional_bytes += len(key) + value_bytes(value)
+        if ex is not None:
+            self._set_expiry(key, self._now() + ex)
+
+    def _restore_delete(self, key: bytes) -> None:
+        self._delete_raw(key)
+
+    def _restore_expire(self, key: bytes, seconds: float) -> None:
+        if key in self._dict:
+            self._set_expiry(key, self._now() + seconds)
+
+    def _restore_persist(self, key: bytes) -> None:
+        self._expires.pop(key, None)
+
+    def _restore_flush(self) -> None:
+        self._dict.clear()
+        self._expires.clear()
+        self._expiry_heap.clear()
+        self.traditional_bytes = 0
+
+    def _restore_deadline_ms(self, key: bytes, now_ms: int) -> int | None:
+        """Existing TTL of ``key`` as absolute unix ms (EXP_KEEP replay)."""
+        deadline = self._expires.get(key)
+        if deadline is None:
+            return None
+        return now_ms + int((deadline - self._now()) * 1000)
 
     def memory_usage(self, key: bytes) -> int | None:
         """MEMORY USAGE: soft + traditional bytes of one key."""

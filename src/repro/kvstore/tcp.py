@@ -80,7 +80,7 @@ class _BaseTcpServer:
 class _Connection:
     """Per-connection state owned by the event loop."""
 
-    __slots__ = ("sock", "session", "out", "pos", "want_write")
+    __slots__ = ("sock", "session", "out", "pos", "want_write", "deferred")
 
     def __init__(self, sock: socket.socket, store: DataStore) -> None:
         self.sock = sock
@@ -88,6 +88,7 @@ class _Connection:
         self.out = bytearray()  # encoded replies not yet on the wire
         self.pos = 0  # consumed prefix of ``out``
         self.want_write = False
+        self.deferred = False  # replies held for the round's AOF commit
 
     @property
     def pending(self) -> int:
@@ -128,6 +129,7 @@ class EventLoopKvServer(_BaseTcpServer):
         self._selector.register(self._waker_r, selectors.EVENT_READ, "waker")
         self._thread: threading.Thread | None = None
         self._stopped = False
+        self._commit_queue: list[_Connection] = []  # awaiting AOF commit
         self.clients_dropped = 0  # slow clients disconnected at the limit
         self.batches_executed = 0  # readable events that ran >= 1 command
         self.max_batch = 0  # largest command count in one batch
@@ -162,7 +164,14 @@ class EventLoopKvServer(_BaseTcpServer):
     def _loop(self) -> None:
         try:
             while not self._stop.is_set():
-                events = self._selector.select()
+                # with an everysec AOF, cap the block so a quiet server
+                # still retires the deferred fsync within its window
+                persist = self.store.persistence
+                timeout = None
+                if persist is not None and persist.aof_enabled:
+                    if persist.config.appendfsync == "everysec":
+                        timeout = persist.config.fsync_interval
+                events = self._selector.select(timeout)
                 for key, mask in events:
                     if key.data is None:
                         self._accept()
@@ -173,6 +182,20 @@ class EventLoopKvServer(_BaseTcpServer):
                             pass
                     else:
                         self._handle(key.data, mask)
+                if persist is not None:
+                    # group commit: ONE write(2) (and, under `always`,
+                    # one fsync) covers every batch executed this round;
+                    # an idle round retires the deferred everysec fsync
+                    persist.flush()
+                queue = self._commit_queue
+                if queue:
+                    # replies held back for the commit go out only now,
+                    # so an acked write is a flushed write
+                    for conn in queue:
+                        conn.deferred = False
+                        if conn.sock.fileno() >= 0:
+                            self._flush(conn)
+                    queue.clear()
         finally:
             self._shutdown()
 
@@ -194,7 +217,9 @@ class EventLoopKvServer(_BaseTcpServer):
         if mask & selectors.EVENT_READ:
             if not self._on_readable(conn):
                 return
-        if mask & selectors.EVENT_WRITE:
+        if mask & selectors.EVENT_WRITE and not conn.deferred:
+            # a deferred connection flushes after the round's AOF
+            # commit; flushing here would leak replies ahead of it
             self._flush(conn)
 
     def _on_readable(self, conn: _Connection) -> bool:
@@ -220,6 +245,16 @@ class EventLoopKvServer(_BaseTcpServer):
             if executed > self.max_batch:
                 self.max_batch = executed
             self._obs.observe_batch(executed)
+            persist = self.store.persistence
+            if persist is not None and persist.aof_enabled:
+                # write-behind AOF: hold these replies until the loop's
+                # single group-commit flush for this select round, so an
+                # acked write has hit the log (and, under `always`, the
+                # platters) before the client sees OK
+                if not conn.deferred:
+                    conn.deferred = True
+                    self._commit_queue.append(conn)
+                return True
         if conn.pending:
             return self._flush(conn)
         return True
@@ -281,6 +316,14 @@ class EventLoopKvServer(_BaseTcpServer):
 
     def _shutdown(self) -> None:
         """Flush pending output best-effort, then tear everything down."""
+        persist = self.store.persistence
+        if persist is not None:
+            # commit before the reply drain below: if the loop died
+            # mid-round, deferred replies must not beat their log bytes
+            persist.flush(force_fsync=True)
+        for conn in self._commit_queue:
+            conn.deferred = False
+        self._commit_queue.clear()
         conns = [
             key.data
             for key in list(self._selector.get_map().values())
@@ -316,6 +359,9 @@ class EventLoopKvServer(_BaseTcpServer):
             pending = still
         for conn in conns:
             self._close(conn)
+        persist = self.store.persistence
+        if persist is not None:
+            persist.flush(force_fsync=True)
         self._selector.close()
         self._listener.close()
         self._waker_r.close()
@@ -373,6 +419,9 @@ class ThreadedKvServer(_BaseTcpServer):
         for thread in self._conn_threads:
             thread.join(timeout=5)
         self._stop_r.close()
+        persist = self.store.persistence
+        if persist is not None:
+            persist.flush(force_fsync=True)
 
     # ------------------------------------------------------------------
 
@@ -427,11 +476,16 @@ class ThreadedKvServer(_BaseTcpServer):
                     if not data:
                         break
                     session.feed_input(data)
+                    persist = self.store.persistence
                     while True:
                         with self._lock:  # one acquisition per command
                             reply = session.pop_reply()
                         if reply is None:
                             break
+                        if persist is not None:
+                            # durability before the ack, like the
+                            # event loop's per-batch flush
+                            persist.flush()
                         self.commands_processed += 1
                         conn.sendall(reply)
         except OSError:

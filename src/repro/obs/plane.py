@@ -293,6 +293,43 @@ def bind_store(
     )
 
 
+def bind_persistence(
+    registry: MetricsRegistry, persist: Any, prefix: str = "persist"
+) -> None:
+    """Expose the durability plane's counters and ledgers as pull gauges.
+
+    ``persist`` is a :class:`~repro.kvstore.persist.engine.Persistence`
+    (typed as ``Any`` to keep the obs plane import-light). The stats
+    dataclass fields (``rdb_last_save_time``, ``recovery_truncated_bytes``,
+    ...) bind alongside the live properties (``aof_size``,
+    ``aof_pending_bytes``, ``fsync_errors``), so INFO and the registry
+    snapshot read the same numbers.
+    """
+    _bind_attrs(
+        registry,
+        f"{prefix}.stats",
+        persist.stats,
+        tuple(persist.stats.as_dict()),
+    )
+    for attr in (
+        "aof_size",
+        "aof_pending_bytes",
+        "fsync_errors",
+        "write_errors",
+        "generation",
+    ):
+        registry.gauge(
+            f"{prefix}.{attr}", fn=lambda a=attr: getattr(persist, a)
+        )
+    registry.gauge(
+        f"{prefix}.aof_enabled", fn=lambda: int(persist.aof_enabled)
+    )
+    registry.gauge(
+        f"{prefix}.bgsave_in_progress",
+        fn=lambda: int(persist.bgsave_in_progress),
+    )
+
+
 def bind_server(
     registry: MetricsRegistry, server: Any, prefix: str = "server"
 ) -> None:

@@ -1,0 +1,168 @@
+"""Run a standalone kvstore server process (the crash-test target).
+
+Boots a :class:`~repro.kvstore.store.DataStore` over a locked SMA,
+optionally attaches the durability plane (``--dir`` enables it, with
+recovery on startup), serves RESP over TCP, and shuts down gracefully
+on SIGTERM/SIGINT: stop accepting, flush the append-only log with a
+final fsync, write a closing snapshot, exit 0. A second signal while
+shutdown is running is a no-op — never a crash or a double flush.
+
+The process prints one machine-readable line once it is accepting::
+
+    READY <host> <port>
+
+so harnesses (the kill -9 crash-recovery loop, benchmarks) can spawn it
+with ``--port 0`` and discover the bound port without racing startup.
+
+Usage::
+
+    python -m repro.tools.kv_server --dir /var/lib/kv --appendfsync always
+    python -m repro.tools.kv_server --dir ./data --appendonly no  # RDB-ish
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+
+from repro.core.locking import LockedSoftMemoryAllocator
+from repro.kvstore.persist.aof import FSYNC_POLICIES
+from repro.kvstore.persist.engine import Persistence, PersistenceConfig
+from repro.kvstore.store import DataStore
+from repro.kvstore.tcp import TcpKvServer
+
+
+def build_server(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    data_dir: str | None = None,
+    appendonly: bool = True,
+    appendfsync: str = "everysec",
+    threaded: bool = False,
+    sma_pages: int | None = None,
+    name: str = "kv-server",
+):
+    """Construct (store, persistence-or-None, unstarted server).
+
+    Importable so tests can assemble the exact process shape the CLI
+    runs without spawning a subprocess.
+    """
+    sma = LockedSoftMemoryAllocator(name=name)
+    if sma_pages is not None:
+        # a real budget: an in-process daemon with finite capacity, so
+        # over-budget writes are denied (and replay re-admission gated)
+        from repro.daemon.smd import SoftMemoryDaemon
+
+        SoftMemoryDaemon(soft_capacity_pages=sma_pages).register(sma)
+    store = DataStore(sma)
+    persistence = None
+    if data_dir is not None:
+        persistence = Persistence(
+            PersistenceConfig(
+                dir=data_dir,
+                appendonly=appendonly,
+                appendfsync=appendfsync,
+            )
+        )
+        store.attach_persistence(persistence)  # recovery happens here
+    server = TcpKvServer(store, host, port, threaded=threaded)
+    return store, persistence, server
+
+
+class GracefulShutdown:
+    """One-shot shutdown: signal-safe to request, idempotent to run."""
+
+    def __init__(self, server, persistence) -> None:
+        self._server = server
+        self._persistence = persistence
+        self._requested = threading.Event()
+        self._done = False
+        self._lock = threading.Lock()
+
+    def request(self, signum=None, frame=None) -> None:
+        """Signal-handler shape; only flips an event, never does I/O."""
+        self._requested.set()
+
+    def wait(self) -> None:
+        self._requested.wait()
+
+    def run(self) -> None:
+        """Stop serving, seal the log, snapshot. Safe to call twice."""
+        with self._lock:
+            if self._done:
+                return
+            self._done = True
+        self._server.stop()  # drains replies + force-fsyncs the AOF
+        if self._persistence is not None:
+            self._persistence.close(final_snapshot=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.kv_server",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=6379, help="0 = pick a free port"
+    )
+    parser.add_argument(
+        "--dir",
+        default=None,
+        help="data directory; enables the durability plane and recovery",
+    )
+    parser.add_argument(
+        "--appendonly",
+        choices=("yes", "no"),
+        default="yes",
+        help="append mutations to the AOF (requires --dir)",
+    )
+    parser.add_argument(
+        "--appendfsync",
+        choices=FSYNC_POLICIES,
+        default="everysec",
+    )
+    parser.add_argument(
+        "--threaded",
+        action="store_true",
+        help="thread-per-connection server instead of the event loop",
+    )
+    parser.add_argument(
+        "--sma-pages",
+        type=int,
+        default=None,
+        help="cap the local soft memory budget (pages)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.dir is None and args.appendonly == "yes" and "--appendonly" in (
+        argv or sys.argv
+    ):
+        parser.error("--appendonly requires --dir")
+
+    __, persistence, server = build_server(
+        host=args.host,
+        port=args.port,
+        data_dir=args.dir,
+        appendonly=args.appendonly == "yes",
+        appendfsync=args.appendfsync,
+        threaded=args.threaded,
+        sma_pages=args.sma_pages,
+    )
+    shutdown = GracefulShutdown(server, persistence)
+    signal.signal(signal.SIGTERM, shutdown.request)
+    signal.signal(signal.SIGINT, shutdown.request)
+
+    server.start()
+    host, port = server.address
+    print(f"READY {host} {port}", flush=True)
+    shutdown.wait()
+    shutdown.run()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

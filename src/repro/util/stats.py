@@ -30,9 +30,13 @@ def percentile(values: Sequence[float], pct: float) -> float:
     if lower == upper:
         return float(ordered[lower])
     frac = rank - lower
-    value = ordered[lower] * (1 - frac) + ordered[upper] * frac
-    # Interpolation rounding must not escape the sample's range.
-    return min(max(value, ordered[0]), ordered[-1])
+    lo, hi = ordered[lower], ordered[upper]
+    # The ``lo + frac * (hi - lo)`` form is monotone in ``frac`` under
+    # rounding (unlike ``lo*(1-frac) + hi*frac``), and clamping to the
+    # bracketing pair — not the whole sample — keeps ulp-scale rounding
+    # from ever making the result non-monotone in ``pct``.
+    value = lo + frac * (hi - lo)
+    return float(min(max(value, lo), hi))
 
 
 @dataclass(frozen=True)

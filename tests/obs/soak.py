@@ -25,7 +25,11 @@ cross-layer contract the metrics exist to certify:
 4. the command counter equals the sum of all per-command histogram
    counts (every command observed exactly once);
 5. no monotonic series ever decreases between checks;
-6. INFO-over-TCP reports exactly the commands this client sent.
+6. INFO-over-TCP reports exactly the commands this client sent;
+7. (with ``data_dir``) INFO Persistence matches the on-disk log
+   byte-for-byte: after a forced flush ``aof_size`` equals
+   ``os.path.getsize`` of the live log, pending bytes are zero, and
+   no write or fsync errors accumulated.
 
 Everything is seeded and in-process (the daemon runs without real RPC)
 so a failure replays identically.
@@ -33,6 +37,7 @@ so a failure replays identically.
 
 from __future__ import annotations
 
+import os
 import random
 import socket
 
@@ -40,6 +45,7 @@ from repro.core.errors import SoftMemoryDenied
 from repro.core.locking import LockedSoftMemoryAllocator
 from repro.daemon.policy import SelectionConfig
 from repro.daemon.smd import SmdConfig, SoftMemoryDaemon
+from repro.kvstore.persist.engine import Persistence, PersistenceConfig
 from repro.kvstore.resp import RespError, RespParser
 from repro.kvstore.store import DataStore
 from repro.kvstore.tcp import EventLoopKvServer, TcpKvClient
@@ -100,6 +106,7 @@ class SoakHarness:
         seed: int = 0,
         capacity_pages: int = 192,
         startup_budget_pages: int = 16,
+        data_dir: str | None = None,
     ) -> None:
         self.rng = random.Random(seed)
         self.smd = SoftMemoryDaemon(
@@ -123,6 +130,14 @@ class SoakHarness:
         self._antagonist_ptrs: list[object] = []
 
         self.store = DataStore(self.sma, name="soak")
+        self.persistence: Persistence | None = None
+        if data_dir is not None:
+            # durability plane under the same soak: every phase's check
+            # compares INFO Persistence against the bytes on disk
+            self.persistence = Persistence(
+                PersistenceConfig(dir=data_dir, appendfsync="everysec")
+            )
+            self.store.attach_persistence(self.persistence)
         bind_smd(self.store.obs.registry, self.smd)
         self.server = EventLoopKvServer(self.store).start()
         self.client = CountingClient(self.server.address)
@@ -295,6 +310,18 @@ class SoakHarness:
                 )
             self._last_monotonic = current
 
+            # 7. INFO Persistence is exact against the on-disk state
+            persist = self.store.persistence
+            if persist is not None:
+                persist.flush(force_fsync=True)
+                assert persist.aof_pending_bytes == 0, where
+                disk = os.path.getsize(persist.aof_path)
+                assert persist.aof_size == disk, (
+                    f"aof_size {persist.aof_size} != on-disk {disk}{where}"
+                )
+                assert persist.fsync_errors == 0, where
+                assert persist.write_errors == 0, where
+
         # 6. INFO over live TCP agrees with the client's own ledger
         sent_before_info = self.client.commands_sent
         payload = self.client.execute(b"INFO", b"server")
@@ -309,6 +336,26 @@ class SoakHarness:
             f"sent {sent_before_info}{where}"
         )
         assert int(fields["protocol_errors"]) == self.protocol_errors_expected
+
+        # 7 (wire half): the INFO Persistence section a client sees
+        # reports the very same bytes the filesystem does
+        if self.store.persistence is not None:
+            persist = self.store.persistence
+            payload = self.client.execute(b"INFO")
+            assert isinstance(payload, bytes)
+            pfields = dict(
+                line.split(":", 1)
+                for line in payload.decode().splitlines()
+                if ":" in line
+            )
+            with self.server._lock:
+                # no other client exists, so nothing raced that INFO
+                assert int(pfields["aof_size"]) == os.path.getsize(
+                    persist.aof_path
+                ), where
+                assert int(pfields["aof_pending_bytes"]) == 0, where
+                assert int(pfields["fsync_errors"]) == 0, where
+                assert pfields["aof_enabled"] == "1", where
 
         self.checks_run += 1
 
@@ -331,6 +378,8 @@ class SoakHarness:
     def close(self) -> None:
         self.client.close()
         self.server.stop()
+        if self.persistence is not None:
+            self.persistence.close()
 
     def __enter__(self) -> "SoakHarness":
         return self
