@@ -47,8 +47,8 @@ class KvClient:
         for command in commands:
             request += encode_command(*command)
         out = bytearray()
-        self._server.feed_batch(bytes(request), out)
-        self._parser.feed(bytes(out))
+        self._server.feed_batch(request, out)
+        self._parser.feed(out)
         replies = self._parser.parse_all()
         if len(replies) != len(commands):
             raise RuntimeError(

@@ -12,14 +12,16 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.core.errors import SoftMemoryDenied
-from repro.kvstore.resp import RespError, SimpleString
+from repro.kvstore.resp import OK, PONG, RespError, SimpleString
 from repro.kvstore.store import DataStore, _glob_regex
 from repro.kvstore.values import WrongTypeError
 
 Handler = Callable[[DataStore, list[bytes]], Any]
 
-OK = SimpleString("OK")
-PONG = SimpleString("PONG")
+# OK / PONG are the interned singletons from ``repro.kvstore.resp``:
+# ``encode_reply_into`` recognizes those exact objects by identity and
+# appends pre-encoded wire bytes, so handlers must return *these*, not
+# fresh SimpleString("OK") instances
 
 
 def _wrong_args(name: str) -> RespError:
@@ -270,6 +272,7 @@ def _info_sections(store: DataStore) -> list[tuple[str, list[str]]]:
         f"name:{store.name}",
         f"commands_processed:{obs.commands}",
         f"protocol_errors:{obs.protocol_errors}",
+        f"protocol_dropped_bytes:{obs.protocol_dropped_bytes}",
         f"slowlog_len:{len(obs.slowlog)}",
         f"slowlog_total:{obs.slowlog.total_logged}",
         f"slowlog_threshold_us:{obs.slowlog.threshold_us}",
@@ -779,15 +782,30 @@ def lookup(name: bytes) -> Handler | None:
     return handler
 
 
+_EMPTY_CMD = RespError("ERR empty command")
+
+
 def dispatch(store: DataStore, argv: list[bytes]) -> Any:
     """Execute one parsed command vector against the store."""
     if not argv:
-        return RespError("ERR empty command")
-    handler = _HANDLERS.get(argv[0]) or lookup(argv[0])
-    if handler is None:
-        name = argv[0].decode(errors="backslashreplace")
-        return RespError(f"ERR unknown command '{name}'")
+        return _EMPTY_CMD
+    name = argv[0]
     try:
+        # GET/SET dominate cache workloads; their common shapes skip
+        # the handler indirection and argv[1:] slice entirely (still
+        # inside the try so WRONGTYPE/OOM containment is identical)
+        if name == b"GET":
+            if len(argv) == 2:
+                return store.get(argv[1])
+        elif name == b"SET" and len(argv) == 3:
+            store.set(argv[1], argv[2])
+            return OK
+        handler = _HANDLERS.get(name) or lookup(name)
+        if handler is None:
+            return RespError(
+                f"ERR unknown command "
+                f"'{name.decode(errors='backslashreplace')}'"
+            )
         return handler(store, argv[1:])
     except WrongTypeError as exc:
         return RespError(str(exc))  # Redis sends WRONGTYPE without ERR

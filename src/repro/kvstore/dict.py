@@ -167,7 +167,8 @@ class SoftDict(SoftDataStructure):
         reclamation contract.
         """
         self._check_key(key)
-        self._rehash_step()
+        if self._ht1 is not None:  # guard inlined: hot path
+            self._rehash_step()
         want = size or self._entry_size
         existing = self._find(key)
         old_value: Any | None = None
@@ -212,7 +213,8 @@ class SoftDict(SoftDataStructure):
 
     def get(self, key: bytes, default: Any = None) -> Any:
         self._check_key(key)
-        self._rehash_step()
+        if self._ht1 is not None:  # guard inlined: hot path
+            self._rehash_step()
         found = self._find(key)
         if found is None:
             return default
@@ -273,12 +275,11 @@ class SoftDict(SoftDataStructure):
             raise TypeError(f"keys must be bytes, got {type(key).__name__}")
 
     def _find(self, key: bytes) -> tuple[SoftPtr, _Table, int] | None:
+        # straight-line probe of ht0 (and ht1 mid-rehash) — no tuple
+        # or generator construction: this runs per command
         h = hash(key)
-        # a tuple, not the _tables() generator: this runs per command
-        tables = (
-            (self._ht0,) if self._ht1 is None else (self._ht0, self._ht1)
-        )
-        for table in tables:
+        table = self._ht0
+        while True:
             slot = h & table.mask
             chain = table.buckets[slot]
             if chain:
@@ -286,7 +287,10 @@ class SoftDict(SoftDataStructure):
                     entry_key, __ = ptr.deref()
                     if entry_key == key:
                         return ptr, table, slot
-        return None
+            ht1 = self._ht1
+            if ht1 is None or table is ht1:
+                return None
+            table = ht1
 
     def _remove_ptr(self, ptr: SoftPtr, table: _Table, slot: int) -> None:
         chain = table.buckets[slot]

@@ -36,10 +36,10 @@ hash (``dict[bytes, bytes]``), ``L`` list (``deque[bytes]``).
 from __future__ import annotations
 
 from collections import deque
-from struct import Struct
 from zlib import crc32
 
 from repro.kvstore.values import Value
+from repro.kvstore.wire import FRAME_HEADER, U32, U64
 
 __all__ = [
     "CorruptRecord",
@@ -58,9 +58,11 @@ __all__ = [
     "scan_frames",
 ]
 
-_HEADER = Struct("<II")  # payload length, crc32(payload)
-_U32 = Struct("<I")
-_U64 = Struct("<Q")
+# precompiled once in ``repro.kvstore.wire`` and shared with the RESP
+# serving plane: payload length + crc32(payload), little-endian fields
+_HEADER = FRAME_HEADER
+_U32 = U32
+_U64 = U64
 HEADER_SIZE = _HEADER.size
 
 #: refuse to believe a single record is larger than this — a corrupt

@@ -16,13 +16,40 @@ integer ``:``         ``int``
 bulk string ``$``     ``bytes`` (``None`` for null)
 array ``*``           ``list`` (``None`` for null)
 ====================  =============================
+
+The parser is built for a zero-copy serving hot path:
+
+* The internal buffer is a reusable ``bytearray`` that sockets can
+  ``recv_into`` directly (:meth:`RespParser.recv_view` /
+  :meth:`RespParser.commit_recv`), so inbound bytes are copied exactly
+  once — kernel to parser buffer — instead of kernel → recv ``bytes``
+  → buffer.
+* :meth:`RespParser.parse_pipeline` drains every complete command
+  array in one tight loop (no per-command method dispatch), and in
+  zero-copy mode hands large bulk payloads out as ``memoryview``
+  slices of the buffer instead of ``bytes`` copies. **Ownership
+  rule:** those views are valid only until the parser is next fed;
+  whoever retains a payload (the store, the slowlog) must materialize
+  it to ``bytes`` first. See DESIGN.md §7.
+* A :class:`ProtocolError` *quarantines* the parser: the poisoned
+  buffer is dropped (``last_error_dropped`` records how many bytes),
+  and the parser is immediately safe to reuse — a client or server
+  that keeps feeding it cannot misparse subsequent frames against
+  stale mid-frame state.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
-CRLF = b"\r\n"
+from repro.kvstore.wire import (
+    BULK_HEADERS,
+    CRLF,
+    EMPTY_ARRAY_REPLY,
+    INT_REPLIES,
+    NULL_BULK_REPLY,
+    OK_REPLY,
+)
 
 
 class SimpleString(str):
@@ -39,12 +66,24 @@ class RespError(Exception):
     def __eq__(self, other: object) -> bool:
         return isinstance(other, RespError) and other.message == self.message
 
+    # defining __eq__ alone would set __hash__ = None and make error
+    # replies unhashable (breaking set/dict-key dedup); keep them
+    # hashable and consistent with __eq__
     def __hash__(self) -> int:
         return hash(("RespError", self.message))
 
 
 class ProtocolError(ValueError):
     """Malformed RESP input on the wire."""
+
+
+#: interned reply singletons: servers return these exact objects so
+#: ``encode_reply_into`` can append pre-encoded bytes on an ``is`` check
+OK = SimpleString("OK")
+PONG = SimpleString("PONG")
+
+_OK_WIRE = OK_REPLY
+_PONG_WIRE = b"+PONG\r\n"
 
 
 def _to_bulk(value: Any) -> bytes:
@@ -80,12 +119,31 @@ def encode_reply_into(buf: bytearray, value: Any) -> None:
 
     The serving hot path encodes straight into a connection's output
     buffer, so a pipelined batch produces one growing bytearray instead
-    of one intermediate ``bytes`` object per reply.
+    of one intermediate ``bytes`` object per reply. The most common
+    replies — GET hits, ``+OK``, null bulks, small integers — hit
+    interned pre-encoded fragments (no formatting, no ``.encode()``).
     """
-    if type(value) is bytes:  # GET hits: the most common reply
-        buf += b"$%d\r\n" % len(value)
+    kind = type(value)
+    if kind is bytes:  # GET hits: the most common reply
+        size = len(value)
+        buf += BULK_HEADERS[size] if size < 256 else b"$%d\r\n" % size
         buf += value
         buf += CRLF
+    elif value is OK:
+        buf += _OK_WIRE
+    elif value is None:
+        buf += NULL_BULK_REPLY
+    elif kind is int:  # bool is not int here: type() is exact
+        buf += (
+            INT_REPLIES[value] if 0 <= value < 128 else b":%d\r\n" % value
+        )
+    elif kind is memoryview:
+        size = len(value)
+        buf += BULK_HEADERS[size] if size < 256 else b"$%d\r\n" % size
+        buf += value
+        buf += CRLF
+    elif value is PONG:
+        buf += _PONG_WIRE
     elif isinstance(value, SimpleString):
         buf += b"+"
         buf += value.encode()
@@ -99,19 +157,21 @@ def encode_reply_into(buf: bytearray, value: Any) -> None:
         buf += b":%d\r\n" % int(value)
     elif isinstance(value, int):
         buf += b":%d\r\n" % value
-    elif value is None:
-        buf += b"$-1\r\n"
     else:
         if isinstance(value, str):
             value = value.encode()
         if isinstance(value, bytes):
-            buf += b"$%d\r\n" % len(value)
+            size = len(value)
+            buf += BULK_HEADERS[size] if size < 256 else b"$%d\r\n" % size
             buf += value
             buf += CRLF
         elif isinstance(value, (list, tuple)):
-            buf += b"*%d\r\n" % len(value)
-            for item in value:
-                encode_reply_into(buf, item)
+            if value:
+                buf += b"*%d\r\n" % len(value)
+                for item in value:
+                    encode_reply_into(buf, item)
+            else:
+                buf += EMPTY_ARRAY_REPLY
         else:
             raise TypeError(f"cannot encode {type(value).__name__} as RESP")
 
@@ -123,28 +183,272 @@ def encode_reply(value: Any) -> bytes:
     return bytes(buf)
 
 
+#: :meth:`RespParser.parse_pipeline` status: buffer drained (any tail
+#: is an incomplete frame waiting for more bytes)
+PIPELINE_MORE = 0
+#: :meth:`RespParser.parse_pipeline` status: the next frame is not a
+#: plain command array — pop it with :meth:`RespParser.parse_one`
+PIPELINE_FALLBACK = 1
+
+#: past this consumed prefix, the next refill slides the live tail back
+#: to the buffer start instead of growing the allocation forever
+_COMPACT_AT = 16384
+#: a drained buffer larger than this is released back to the allocator
+_SHRINK_AT = 1 << 20
+
+
 class RespParser:
     """Incremental RESP parser.
 
-    Feed it raw bytes; pop complete values with :meth:`parse_one` or
-    drain everything available with :meth:`parse_all`. Partial input is
-    buffered until completed by a later feed.
+    Feed it raw bytes (:meth:`feed`, or zero-copy via
+    :meth:`recv_view` + :meth:`commit_recv`); pop complete values with
+    :meth:`parse_one`, drain everything with :meth:`parse_all`, or —
+    on the serving hot path — drain whole pipelined command batches
+    with :meth:`parse_pipeline`. Partial input is buffered until
+    completed by a later feed.
+
+    ``zero_copy_threshold`` enables handing bulk payloads of at least
+    that many bytes out as ``memoryview`` slices (command-array
+    elements at argv index >= 2 only, so command names and keys are
+    always real ``bytes``). ``use_fast_path=False`` disables the
+    command-array fast path entirely — a diagnostic/test seam that
+    forces every frame through the generic recursive parser.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        *,
+        zero_copy_threshold: int | None = None,
+        use_fast_path: bool = True,
+    ) -> None:
         self._buf = bytearray()
-        self._pos = 0
+        self._pos = 0  # consumed prefix of the valid region
+        self._len = 0  # valid bytes in ``_buf`` (the rest is slack)
+        self.zero_copy_threshold = zero_copy_threshold
+        self._use_fast_path = use_fast_path
         #: True iff the last :meth:`parse_one` value came from the
         #: command fast path, which certifies a list of only ``bytes``
-        #: elements — servers can then skip re-validating the argv
+        #: (plus, in zero-copy mode, ``memoryview``) elements — servers
+        #: can then skip re-validating the argv
         self.command_fast = False
+        #: lifetime count of memoryview payloads handed out
+        self.views_created = 0
+        #: lifetime count of :class:`ProtocolError` quarantines
+        self.errors = 0
+        #: total bytes discarded by quarantines (fed but never parsed,
+        #: including the poisoned frame itself)
+        self.dropped_bytes = 0
+        #: bytes discarded by the most recent quarantine
+        self.last_error_dropped = 0
+
+    # -- input ---------------------------------------------------------
 
     def feed(self, data: bytes) -> None:
-        self._buf.extend(data)
+        """Append ``data`` to the parse buffer (one copy)."""
+        self._reset_if_drained()
+        buf = self._buf
+        # overwrite the slack tail (if any) and extend in one call
+        buf[self._len:] = data
+        self._len = len(buf)
+
+    def recv_view(self, hint: int = 65536) -> memoryview:
+        """A writable view of the buffer tail for ``sock.recv_into``.
+
+        Reserves at least ``hint`` writable bytes past the valid
+        region and returns a ``memoryview`` over them. The caller must
+        release the view (it pins the buffer) and then report how many
+        bytes landed via :meth:`commit_recv`. This is the zero-copy
+        inbound path: the kernel writes socket bytes straight into the
+        parse buffer.
+        """
+        self._reset_if_drained()
+        buf = self._buf
+        pos = self._pos
+        if pos >= _COMPACT_AT:
+            # slide the live tail to the front; same-length slice
+            # assignment, so the buffer is never reallocated here
+            live = self._len - pos
+            buf[:live] = buf[pos:self._len]
+            self._pos = 0
+            self._len = live
+        need = self._len + hint
+        if len(buf) < need:
+            buf.extend(bytes(need - len(buf)))
+        return memoryview(buf)[self._len:]
+
+    def commit_recv(self, nbytes: int) -> None:
+        """Mark ``nbytes`` written through :meth:`recv_view` as valid."""
+        self._len += nbytes
+
+    def _reset_if_drained(self) -> None:
+        if self._pos == self._len:
+            self._pos = self._len = 0
+            if len(self._buf) > _SHRINK_AT:
+                # release a buffer inflated by one huge frame; a new
+                # object, so stale views (a contract violation) can
+                # never alias freshly received bytes
+                self._buf = bytearray()
 
     @property
     def buffered_bytes(self) -> int:
-        return len(self._buf) - self._pos
+        return self._len - self._pos
+
+    # -- error containment ---------------------------------------------
+
+    def _quarantine(self, frame_start: int) -> None:
+        """Drop the poisoned stream so the parser is safe to reuse.
+
+        Called on every :class:`ProtocolError` before it propagates.
+        Everything from the failing frame's first byte to the end of
+        the buffer is discarded — a parser left pointing mid-frame
+        would misparse every subsequent feed. The buffer object is
+        replaced, never truncated, so outstanding zero-copy views (if
+        the caller violated the lifetime contract) cannot alias new
+        input.
+        """
+        dropped = self._len - frame_start
+        self.last_error_dropped = dropped
+        self.dropped_bytes += dropped
+        self.errors += 1
+        self._buf = bytearray()
+        self._pos = 0
+        self._len = 0
+        self.command_fast = False
+
+    # -- parsing -------------------------------------------------------
+
+    def parse_pipeline(self, out: list, limit: int | None = None) -> int:
+        """Append every complete command array to ``out`` in one pass.
+
+        The serving hot path: client commands are ``*N`` arrays of
+        bulk strings, parsed here in one tight loop over the buffer —
+        no per-command method dispatch, single-digit lengths decoded
+        without ``int()``, and (in zero-copy mode) large payloads
+        sliced as ``memoryview`` instead of copied.
+
+        Returns :data:`PIPELINE_MORE` when the buffer is drained (a
+        trailing partial frame stays buffered for the next feed) or
+        :data:`PIPELINE_FALLBACK` when the next frame is anything but
+        a plain command array (another type byte, a null array, or an
+        array holding a non-bulk/null element) — pop that one frame
+        with :meth:`parse_one`. Raises :class:`ProtocolError` (after
+        quarantining) on malformed input; frames appended to ``out``
+        before the poison remain valid.
+        """
+        end_of_data = self._len
+        pos = frame_start = self._pos
+        if not self._use_fast_path:
+            return PIPELINE_FALLBACK if pos < end_of_data else PIPELINE_MORE
+        buf = self._buf
+        find = buf.find
+        zc_min = self.zero_copy_threshold
+        mv = None
+        try:
+            while pos < end_of_data:
+                frame_start = pos
+                if buf[pos] != 0x2A:  # not b"*": generic frame
+                    return PIPELINE_FALLBACK
+                # single-digit count with CRLF at the fixed offset is
+                # virtually every client command — decoded with three
+                # index reads, no find() and no int()
+                if (
+                    pos + 4 <= end_of_data
+                    and buf[pos + 2] == 0x0D
+                    and buf[pos + 3] == 0x0A
+                ):
+                    count = buf[pos + 1] - 0x30
+                    if not 0 <= count <= 9:
+                        if buf[pos + 1] == 0x2D:  # b"-": null/negative
+                            return PIPELINE_FALLBACK
+                        raise ProtocolError(
+                            f"invalid integer "
+                            f"{bytes(buf[pos + 1:pos + 2])!r}"
+                        )
+                    pos += 4
+                else:
+                    hdr_end = find(CRLF, pos + 1, end_of_data)
+                    if hdr_end < 0:
+                        break  # incomplete count line
+                    if buf[pos + 1] == 0x2D:
+                        return PIPELINE_FALLBACK
+                    try:
+                        count = int(bytes(buf[pos + 1:hdr_end]))
+                    except ValueError:
+                        raise ProtocolError(
+                            f"invalid integer "
+                            f"{bytes(buf[pos + 1:hdr_end])!r}"
+                        ) from None
+                    pos = hdr_end + 2
+                argv: list[Any] = []
+                append = argv.append
+                complete = True
+                for i in range(count):
+                    if pos >= end_of_data:
+                        complete = False
+                        break
+                    if buf[pos] != 0x24:  # not b"$": mixed array
+                        return PIPELINE_FALLBACK
+                    if (
+                        pos + 4 <= end_of_data
+                        and buf[pos + 2] == 0x0D
+                        and buf[pos + 3] == 0x0A
+                    ):
+                        length = buf[pos + 1] - 0x30
+                        if not 0 <= length <= 9:
+                            if buf[pos + 1] == 0x2D:  # null bulk
+                                return PIPELINE_FALLBACK
+                            raise ProtocolError(
+                                f"invalid integer "
+                                f"{bytes(buf[pos + 1:pos + 2])!r}"
+                            )
+                        start = pos + 4
+                    else:
+                        hdr_end = find(CRLF, pos + 1, end_of_data)
+                        if hdr_end < 0:
+                            complete = False
+                            break
+                        if buf[pos + 1] == 0x2D:
+                            # null bulk inside a command is not a valid
+                            # argv — let the generic parser produce it
+                            # (negative lengths < -1 error there too)
+                            return PIPELINE_FALLBACK
+                        try:
+                            length = int(bytes(buf[pos + 1:hdr_end]))
+                        except ValueError:
+                            raise ProtocolError(
+                                f"invalid integer "
+                                f"{bytes(buf[pos + 1:hdr_end])!r}"
+                            ) from None
+                        start = hdr_end + 2
+                    stop = start + length
+                    if stop + 2 > end_of_data:
+                        complete = False
+                        break
+                    if buf[stop] != 0x0D or buf[stop + 1] != 0x0A:
+                        raise ProtocolError(
+                            "bulk string not terminated by CRLF"
+                        )
+                    if zc_min is not None and length >= zc_min and i >= 2:
+                        if mv is None:
+                            mv = memoryview(buf)
+                        append(mv[start:stop])
+                        self.views_created += 1
+                    else:
+                        append(bytes(buf[start:stop]))
+                    pos = stop + 2
+                if not complete:
+                    break  # leave ``_pos`` at this frame's start
+                out.append(argv)
+                self._pos = pos  # commit frame by frame
+                if limit is not None and len(out) >= limit:
+                    break
+            return PIPELINE_MORE
+        except ProtocolError:
+            self._quarantine(frame_start)
+            raise
+        finally:
+            if mv is not None:
+                mv.release()
 
     def parse_one(self) -> Any | None:
         """Return the next complete value, or ``None`` if more bytes needed.
@@ -154,85 +458,29 @@ class RespParser:
         parse returns the :data:`NULL` sentinel.
         """
         self.command_fast = False
+        pos = self._pos
+        if pos >= self._len:
+            return None
+        if self._use_fast_path and self._buf[pos] == 0x2A:  # b"*"
+            frames: list[Any] = []
+            status = self.parse_pipeline(frames, limit=1)
+            if frames:
+                self.command_fast = True
+                return frames[0]
+            if status == PIPELINE_MORE:
+                return None
+            # PIPELINE_FALLBACK: the generic parser takes over below
         start = self._pos
-        if start < len(self._buf) and self._buf[start] == 0x2A:  # b"*"
-            value = self._parse_command_array()
-            if value is not _FALLBACK:
-                if type(value) is list:
-                    self.command_fast = True
-                return value
         try:
             value = self._parse_value()
         except _Incomplete:
             self._pos = start
             return None
-        self._compact()
+        except ProtocolError:
+            self._quarantine(start)
+            raise
+        self._reset_if_drained()
         return value
-
-    def _parse_command_array(self) -> Any | None:
-        """Fast path for ``*N`` arrays of bulk strings — every client
-        command on the serving hot path has exactly this shape, so it
-        is parsed in one tight loop over the buffer instead of one
-        recursive ``_parse_value`` call (and its helper-method slices)
-        per element. Returns :data:`_FALLBACK` when the array holds a
-        non-bulk or null element (the generic parser takes over from
-        the start, so fast-path output is certified all-``bytes``)
-        and ``None`` when the buffer is incomplete; never moves ``_pos``
-        unless a full array was consumed.
-        """
-        buf = self._buf
-        pos = self._pos  # at b"*"
-        buflen = len(buf)
-        end = buf.find(CRLF, pos + 1)
-        if end < 0:
-            return None
-        try:
-            count = int(buf[pos + 1:end])
-        except ValueError:
-            raise ProtocolError(
-                f"invalid integer {bytes(buf[pos + 1:end])!r}"
-            ) from None
-        if count < 0:
-            if count == -1:
-                self._pos = end + 2
-                self._compact()
-                return NULL
-            raise ProtocolError(f"invalid array length {count}")
-        pos = end + 2
-        items: list[Any] = []
-        append = items.append
-        for __ in range(count):
-            if pos >= buflen:
-                return None
-            if buf[pos] != 0x24:  # not b"$": mixed array, generic path
-                return _FALLBACK
-            end = buf.find(CRLF, pos + 1)
-            if end < 0:
-                return None
-            try:
-                length = int(buf[pos + 1:end])
-            except ValueError:
-                raise ProtocolError(
-                    f"invalid integer {bytes(buf[pos + 1:end])!r}"
-                ) from None
-            if length < 0:
-                if length == -1:
-                    # null bulk inside a command: rare and not a valid
-                    # argv — let the generic parser produce it so fast
-                    # path output stays certified all-bytes
-                    return _FALLBACK
-                raise ProtocolError(f"invalid bulk length {length}")
-            start = end + 2
-            stop = start + length
-            if buflen < stop + 2:
-                return None
-            if buf[stop:stop + 2] != CRLF:
-                raise ProtocolError("bulk string not terminated by CRLF")
-            append(bytes(buf[start:stop]))
-            pos = stop + 2
-        self._pos = pos
-        self._compact()
-        return items
 
     def parse_all(self) -> list[Any]:
         """All complete values currently buffered (nulls become ``None``)."""
@@ -246,14 +494,8 @@ class RespParser:
 
     # -- internals ---------------------------------------------------------
 
-    def _compact(self) -> None:
-        # Periodically discard consumed prefix so the buffer stays small.
-        if self._pos > 4096:
-            del self._buf[: self._pos]
-            self._pos = 0
-
     def _read_line(self) -> bytes:
-        idx = self._buf.find(CRLF, self._pos)
+        idx = self._buf.find(CRLF, self._pos, self._len)
         if idx < 0:
             raise _Incomplete
         line = bytes(self._buf[self._pos:idx])
@@ -262,18 +504,18 @@ class RespParser:
 
     def _read_exact(self, count: int) -> bytes:
         end = self._pos + count
-        if len(self._buf) < end + 2:
+        if self._len < end + 2:
             raise _Incomplete
         data = bytes(self._buf[self._pos:end])
-        if bytes(self._buf[end:end + 2]) != CRLF:
+        if self._buf[end:end + 2] != CRLF:
             raise ProtocolError("bulk string not terminated by CRLF")
         self._pos = end + 2
         return data
 
     def _parse_value(self) -> Any:
-        if self._pos >= len(self._buf):
+        if self._pos >= self._len:
             raise _Incomplete
-        kind = self._buf[self._pos:self._pos + 1]
+        kind = bytes(self._buf[self._pos:self._pos + 1])
         self._pos += 1
         if kind == b"+":
             return SimpleString(_decode_line(self._read_line()))
@@ -304,10 +546,6 @@ class RespParser:
 
 class _Incomplete(Exception):
     """Internal: not enough buffered bytes for a complete value."""
-
-
-#: internal: the command-array fast path met a non-bulk element
-_FALLBACK = object()
 
 
 class _Null:

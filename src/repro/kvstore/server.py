@@ -5,15 +5,35 @@ byte stream, executes each complete command against the store, and
 emits the RESP replies. Transport is left to the caller (the tests and
 examples drive it in-process; the TCP front-ends shuttle bytes).
 
-The hot path is :meth:`KvServer.feed_batch`: it parses and executes
-every complete command in one pass and encodes the replies directly
-into a caller-owned output buffer, so a pipelined batch costs zero
-intermediate ``bytes`` copies between parse, dispatch, and encode.
+The hot path is :meth:`KvServer.pump`: the parser drains every
+complete pipelined command in one tight loop
+(:meth:`~repro.kvstore.resp.RespParser.parse_pipeline`), then this
+module executes the batch and encodes the replies directly into a
+caller-owned output buffer — zero intermediate ``bytes`` copies
+between parse, dispatch, and encode. The TCP front-ends go one step
+further and ``recv_into`` the parser's buffer, so inbound payload
+bytes are copied exactly once off the socket.
+
+Zero-copy argv discipline: the parser hands bulk payloads >=
+:data:`ZERO_COPY_THRESHOLD` bytes out as ``memoryview`` slices of its
+buffer (argv index >= 2 only). Those views die with the batch — before
+dispatch, :func:`_keeps_views` decides per command shape whether its
+handler is audited to sink views safely (the SET family materializes
+inside ``DataStore.set``); every other command gets views materialized
+to ``bytes`` up front, and the slowlog always receives materialized
+argv. See DESIGN.md §7.
 
 Per-command latency feeds the store's observability plane
 (``store.obs``) at one clock read per command: the end-of-command
 timestamp of command *i* is the start timestamp of command *i+1*, so a
 pipelined batch pays ``perf_counter`` once per command, not twice.
+
+A :class:`~repro.kvstore.resp.ProtocolError` quarantines the parser
+(commands parsed before the poison still execute and reply), appends
+one protocol-error reply, and records the dropped remainder of the
+poisoned buffer in ``protocol_errors`` / ``bytes_dropped`` and the obs
+plane's ``protocol_dropped_bytes`` — the in-process equivalent of
+Redis closing the connection, but with the drop visible in stats.
 """
 
 from __future__ import annotations
@@ -24,6 +44,7 @@ from time import perf_counter
 from repro.kvstore.commands import dispatch
 from repro.kvstore.resp import (
     NULL,
+    PIPELINE_MORE,
     ProtocolError,
     RespError,
     RespParser,
@@ -33,6 +54,47 @@ from repro.kvstore.store import DataStore
 
 _BAD_ARGV = RespError("ERR protocol error: expected array of bulk strings")
 
+#: bulk payloads at least this large are parsed zero-copy (memoryview
+#: slices of the parser buffer); below it a ``bytes`` copy is cheaper
+#: than the view bookkeeping
+ZERO_COPY_THRESHOLD = 512
+
+# Command shapes whose handlers are audited to tolerate ``memoryview``
+# payloads in argv[2:]: they only pass values into ``DataStore.set``
+# (which materializes) and never call bytes methods on them. Seeded
+# with the canonical casings clients actually send; any other casing
+# just loses the zero-copy fast path, never correctness.
+_SET3 = frozenset((b"SET", b"set", b"SETNX", b"setnx", b"GETSET", b"getset"))
+_SET4 = frozenset((b"SETEX", b"setex", b"PSETEX", b"psetex"))
+_MSET = frozenset((b"MSET", b"mset"))
+
+
+def _keeps_views(argv: list) -> bool:
+    """May ``argv`` reach its handler with memoryview payloads intact?
+
+    Only exact audited shapes qualify — ``SET key value EX 10`` (len 5)
+    scans its options with ``bytes`` methods, so it must not keep
+    views even though plain ``SET key value`` (len 3) may.
+    """
+    n = len(argv)
+    if n == 3:
+        return argv[0] in _SET3
+    if n == 4:
+        return argv[0] in _SET4
+    return argv[0] in _MSET
+
+
+def _materialize_views(argv: list) -> None:
+    """Replace memoryview elements of ``argv`` with ``bytes`` copies."""
+    for i in range(2, len(argv)):
+        if type(argv[i]) is memoryview:
+            argv[i] = bytes(argv[i])
+
+
+def _copy_argv(argv: list) -> list:
+    """A retainable copy of ``argv`` (views materialized) for the slowlog."""
+    return [bytes(a) if type(a) is memoryview else a for a in argv]
+
 
 class KvServer:
     """One server instance bound to one :class:`DataStore`."""
@@ -40,23 +102,33 @@ class KvServer:
     def __init__(self, store: DataStore) -> None:
         self.store = store
         self.obs = store.obs
-        self._parser = RespParser()
+        self._parser = RespParser(zero_copy_threshold=ZERO_COPY_THRESHOLD)
         self.commands_processed = 0
         self.protocol_errors = 0
+        #: bytes fed but discarded by protocol-error quarantines
+        self.bytes_dropped = 0
 
-    def feed_batch(self, data: bytes, out: bytearray) -> int:
-        """Process raw client bytes, appending replies to ``out``.
+    @property
+    def parser(self) -> RespParser:
+        """The session's parser (TCP front-ends ``recv_into`` its buffer)."""
+        return self._parser
 
+    def pump(self, out: bytearray) -> int:
+        """Execute every complete buffered command, replies into ``out``.
+
+        The serving hot path: callers land raw client bytes in the
+        parser (:meth:`feed_batch`, or zero-copy via
+        ``parser.recv_view`` + ``parser.commit_recv``) and pump.
         Returns the number of commands executed. Incomplete trailing
-        commands stay buffered for the next feed — exactly how a socket
-        server handles short reads. On a malformed frame the commands
-        parsed *before* the poison still execute and reply (pipelined
-        clients must not lose completed work), then a protocol-error
-        reply is appended and the rest of the poisoned buffer dropped,
-        the in-process equivalent of Redis closing the connection.
+        commands stay buffered for the next feed — exactly how a
+        socket server handles short reads. On a malformed frame the
+        commands parsed *before* the poison still execute and reply
+        (pipelined clients must not lose completed work), then a
+        protocol-error reply is appended and the rest of the poisoned
+        buffer dropped — recorded in ``protocol_errors`` /
+        ``bytes_dropped`` and the obs plane, never silently.
         """
         parser = self._parser
-        parser.feed(data)
         executed = 0
         dispatched = 0
         observed = 0
@@ -73,46 +145,90 @@ class KvServer:
         bounds = obs._bounds
         slow_s = obs._slow_s
         slowlog_add = obs.slowlog.add
-        parse_one = parser.parse_one
         encode = encode_reply_into
-        start = perf_counter()
+        run = dispatch
+        frames: list[list] = []
         while True:
+            views_before = parser.views_created
+            error: ProtocolError | None = None
             try:
-                argv = parse_one()
+                status = parser.parse_pipeline(frames)
             except ProtocolError as exc:
-                self._parser = RespParser()
-                self.protocol_errors += 1
-                obs.protocol_errors += 1
-                encode(out, RespError(f"ERR protocol error: {exc}"))
+                error = exc
+                status = PIPELINE_MORE  # quarantined: buffer is empty
+            if frames:
+                if parser.views_created != views_before:
+                    # the batch carries zero-copy payloads: commands
+                    # outside the audited shapes get bytes up front
+                    for argv in frames:
+                        if argv and not _keeps_views(argv):
+                            _materialize_views(argv)
+                start = perf_counter()
+                for argv in frames:
+                    dispatched += 1
+                    encode(out, run(store, argv))
+                    end = perf_counter()
+                    if argv:
+                        cell = cell_of(argv[0])
+                        if cell is None:
+                            cell = learn(argv[0])
+                        duration = end - start
+                        cell.observe(bisect_left(bounds, duration), duration)
+                        observed += 1
+                        if duration >= slow_s:
+                            slowlog_add(_copy_argv(argv), duration)
+                    start = end
+                executed += len(frames)
+                frames.clear()
+            if error is not None:
+                self._record_error(error, out)
+                break
+            if status == PIPELINE_MORE:
+                break
+            # PIPELINE_FALLBACK: one frame that is not a plain command
+            # array (another RESP type, a null, a mixed array) — pop it
+            # with the generic parser and answer like Redis would
+            try:
+                argv = parser.parse_one()
+            except ProtocolError as exc:
+                self._record_error(exc, out)
                 break
             if argv is None:
                 break
             if argv is NULL:  # a client sent a RESP null as a "command"
                 argv = None
-            if parser.command_fast or (
-                type(argv) is list
-                and all(type(a) is bytes for a in argv)
-            ):
+            if type(argv) is list and all(type(a) is bytes for a in argv):
                 dispatched += 1
+                begin = perf_counter()
                 encode(out, dispatch(store, argv))
-                end = perf_counter()
                 if argv:
-                    cell = cell_of(argv[0])
-                    if cell is None:
-                        cell = learn(argv[0])
-                    duration = end - start
-                    cell.observe(bisect_left(bounds, duration), duration)
-                    observed += 1
-                    if duration >= slow_s:
-                        slowlog_add(argv, duration)
-                start = end
+                    # observe_command counts into obs.commands itself,
+                    # so this command must stay out of ``observed``
+                    obs.observe_command(argv[0], perf_counter() - begin, argv)
             else:
                 encode(out, _BAD_ARGV)
-                start = perf_counter()
             executed += 1
         self.commands_processed += dispatched
         obs.commands += observed
         return executed
+
+    def _record_error(self, exc: ProtocolError, out: bytearray) -> None:
+        """Account one parser quarantine and append its error reply."""
+        obs = self.obs
+        self.protocol_errors += 1
+        obs.protocol_errors += 1
+        dropped = self._parser.last_error_dropped
+        self.bytes_dropped += dropped
+        obs.protocol_dropped_bytes += dropped
+        encode_reply_into(out, RespError(f"ERR protocol error: {exc}"))
+
+    def feed_batch(self, data: bytes, out: bytearray) -> int:
+        """Process raw client bytes, appending replies to ``out``.
+
+        One copy into the parser buffer, then :meth:`pump`.
+        """
+        self._parser.feed(data)
+        return self.pump(out)
 
     def feed(self, data: bytes) -> bytes:
         """Process raw client bytes; return the concatenated replies."""
@@ -134,24 +250,28 @@ class KvServer:
         complete command is buffered. This is the classical
         thread-per-connection serving step — the caller takes its lock
         and writes the reply once *per command* — kept as the measured
-        contrast to :meth:`feed_batch`'s one-lock-per-batch hot path.
+        contrast to :meth:`pump`'s one-lock-per-batch hot path.
         """
         out = bytearray()
+        parser = self._parser
         try:
-            argv = self._parser.parse_one()
+            argv = parser.parse_one()
         except ProtocolError as exc:
-            self._parser = RespParser()
-            self.protocol_errors += 1
-            self.obs.protocol_errors += 1
-            encode_reply_into(out, RespError(f"ERR protocol error: {exc}"))
+            # the parser quarantined itself (fresh buffer, reusable);
+            # account the drop like the batch path does
+            self._record_error(exc, out)
             return bytes(out)
         if argv is None:
             return None
         if argv is NULL:  # a client sent a RESP null as a "command"
             argv = None
-        if self._parser.command_fast or (
+        if parser.command_fast or (
             type(argv) is list and all(type(a) is bytes for a in argv)
         ):
+            if parser.command_fast:
+                # command-at-a-time serving holds argv across lock
+                # drops; zero-copy views must not leave this call
+                _materialize_views(argv)
             self.commands_processed += 1
             start = perf_counter()
             encode_reply_into(out, dispatch(self.store, argv))

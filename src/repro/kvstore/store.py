@@ -305,6 +305,13 @@ class DataStore:
         keep_ttl: bool = False,
     ) -> None:
         """SET: store ``value`` under ``key``; optional relative expiry."""
+        # zero-copy serving hands large payloads in as memoryviews over
+        # the parser's reusable buffer; the store retains values beyond
+        # the batch, so this is the point where bytes must materialize
+        if type(value) is memoryview:
+            value = bytes(value)
+        if type(key) is memoryview:
+            key = bytes(key)
         self._check_types(key, value)
         self._write(key, value, ex=ex, keep_ttl=keep_ttl)
 

@@ -6,14 +6,16 @@ TCP like real Redis. Two servers share one contract:
 
 * :class:`EventLoopKvServer` (the default) mirrors Redis's actual
   concurrency model: a single-threaded ``selectors`` event loop doing
-  non-blocking accept/read/write. Each readable event drains the
-  socket, executes *every* complete pipelined command under one lock
-  acquisition, encodes all replies straight into the connection's
-  output buffer, and attempts one non-blocking flush; leftovers are
-  written when the socket reports writable (write interest is toggled
-  on and off). Slow clients that let their output buffer grow past a
-  configurable limit are disconnected, like Redis's
-  client-output-buffer-limits.
+  non-blocking accept/read/write. Each readable event does
+  ``recv_into`` the session parser's buffer (bytes are copied once,
+  kernel to parser), executes *every* complete pipelined command under one lock
+  acquisition, and encodes all replies straight into the connection's
+  output buffer. Replies leave at the end of the select round — after
+  the round's single AOF group commit — in one non-blocking send per
+  connection; leftovers are written when the socket reports writable
+  (write interest is toggled on and off). Slow clients that let their
+  output buffer grow past a configurable limit are disconnected, like
+  Redis's client-output-buffer-limits.
 * :class:`ThreadedKvServer` is the classical thread-per-connection
   design the event loop replaces, kept selectable for A/B benchmarks:
   each connection's thread parses one command, takes the store lock,
@@ -80,15 +82,18 @@ class _BaseTcpServer:
 class _Connection:
     """Per-connection state owned by the event loop."""
 
-    __slots__ = ("sock", "session", "out", "pos", "want_write", "deferred")
+    __slots__ = (
+        "sock", "session", "parser", "out", "pos", "want_write", "queued"
+    )
 
     def __init__(self, sock: socket.socket, store: DataStore) -> None:
         self.sock = sock
         self.session = KvServer(store)  # per-connection input buffer
+        self.parser = self.session.parser  # cached: one lookup per recv
         self.out = bytearray()  # encoded replies not yet on the wire
         self.pos = 0  # consumed prefix of ``out``
         self.want_write = False
-        self.deferred = False  # replies held for the round's AOF commit
+        self.queued = False  # already on this round's flush queue
 
     @property
     def pending(self) -> int:
@@ -129,7 +134,6 @@ class EventLoopKvServer(_BaseTcpServer):
         self._selector.register(self._waker_r, selectors.EVENT_READ, "waker")
         self._thread: threading.Thread | None = None
         self._stopped = False
-        self._commit_queue: list[_Connection] = []  # awaiting AOF commit
         self.clients_dropped = 0  # slow clients disconnected at the limit
         self.batches_executed = 0  # readable events that ran >= 1 command
         self.max_batch = 0  # largest command count in one batch
@@ -172,6 +176,7 @@ class EventLoopKvServer(_BaseTcpServer):
                     if persist.config.appendfsync == "everysec":
                         timeout = persist.config.fsync_interval
                 events = self._selector.select(timeout)
+                flush_queue: list[_Connection] = []
                 for key, mask in events:
                     if key.data is None:
                         self._accept()
@@ -181,21 +186,20 @@ class EventLoopKvServer(_BaseTcpServer):
                         except OSError:
                             pass
                     else:
-                        self._handle(key.data, mask)
+                        self._handle(key.data, mask, flush_queue)
                 if persist is not None:
                     # group commit: ONE write(2) (and, under `always`,
                     # one fsync) covers every batch executed this round;
                     # an idle round retires the deferred everysec fsync
                     persist.flush()
-                queue = self._commit_queue
-                if queue:
-                    # replies held back for the commit go out only now,
-                    # so an acked write is a flushed write
-                    for conn in queue:
-                        conn.deferred = False
-                        if conn.sock.fileno() >= 0:
-                            self._flush(conn)
-                    queue.clear()
+                # every connection's replies for this round leave in
+                # one send *after* the group commit, so an acked write
+                # is a logged write and a pipelined batch is one
+                # syscall on the wire, not one per readable event
+                for conn in flush_queue:
+                    conn.queued = False
+                    if conn.sock.fileno() >= 0:
+                        self._flush(conn)
         finally:
             self._shutdown()
 
@@ -213,50 +217,49 @@ class EventLoopKvServer(_BaseTcpServer):
             conn = _Connection(sock, self.store)
             self._selector.register(sock, selectors.EVENT_READ, conn)
 
-    def _handle(self, conn: _Connection, mask: int) -> None:
+    def _handle(
+        self, conn: _Connection, mask: int, flush_queue: list[_Connection]
+    ) -> None:
+        if mask & selectors.EVENT_WRITE:
+            # backlog from earlier rounds (already covered by earlier
+            # commits) drains first, before this round generates more
+            if not self._flush(conn):
+                return
         if mask & selectors.EVENT_READ:
             if not self._on_readable(conn):
                 return
-        if mask & selectors.EVENT_WRITE and not conn.deferred:
-            # a deferred connection flushes after the round's AOF
-            # commit; flushing here would leak replies ahead of it
-            self._flush(conn)
+        if not conn.queued and len(conn.out) > conn.pos:
+            conn.queued = True
+            flush_queue.append(conn)
 
     def _on_readable(self, conn: _Connection) -> bool:
-        """Drain one recv, execute the whole batch, try one flush.
+        """Recv straight into the parser buffer, execute the batch.
 
-        Returns False when the connection was closed.
+        Returns False when the connection was closed. Replies are
+        *not* flushed here — the loop sends each connection's round of
+        replies in one syscall after the round's group commit.
         """
+        parser = conn.parser
         try:
-            data = conn.sock.recv(_RECV_SIZE)
+            with parser.recv_view(_RECV_SIZE) as view:
+                nbytes = conn.sock.recv_into(view)
         except (BlockingIOError, InterruptedError):
             return True
         except OSError:
             self._close(conn)
             return False
-        if not data:
+        if not nbytes:
             self._close(conn)
             return False
+        parser.commit_recv(nbytes)
         with self._lock:  # one acquisition for the whole pipelined batch
-            executed = conn.session.feed_batch(data, conn.out)
+            executed = conn.session.pump(conn.out)
         if executed:
             self.commands_processed += executed
             self.batches_executed += 1
             if executed > self.max_batch:
                 self.max_batch = executed
             self._obs.observe_batch(executed)
-            persist = self.store.persistence
-            if persist is not None and persist.aof_enabled:
-                # write-behind AOF: hold these replies until the loop's
-                # single group-commit flush for this select round, so an
-                # acked write has hit the log (and, under `always`, the
-                # platters) before the client sees OK
-                if not conn.deferred:
-                    conn.deferred = True
-                    self._commit_queue.append(conn)
-                return True
-        if conn.pending:
-            return self._flush(conn)
         return True
 
     def _flush(self, conn: _Connection) -> bool:
@@ -270,9 +273,14 @@ class EventLoopKvServer(_BaseTcpServer):
         pos = conn.pos
         send = conn.sock.send
         try:
-            with memoryview(out) as view:
-                while pos < len(out):
-                    pos += send(view[pos:])
+            if pos == 0:
+                # common case — nothing consumed yet: one send of the
+                # whole buffer, no memoryview setup
+                pos = send(out)
+            if pos < len(out):
+                with memoryview(out) as view:
+                    while pos < len(out):
+                        pos += send(view[pos:])
         except (BlockingIOError, InterruptedError):
             pass
         except OSError:
@@ -319,11 +327,8 @@ class EventLoopKvServer(_BaseTcpServer):
         persist = self.store.persistence
         if persist is not None:
             # commit before the reply drain below: if the loop died
-            # mid-round, deferred replies must not beat their log bytes
+            # mid-round, pending replies must not beat their log bytes
             persist.flush(force_fsync=True)
-        for conn in self._commit_queue:
-            conn.deferred = False
-        self._commit_queue.clear()
         conns = [
             key.data
             for key in list(self._selector.get_map().values())
@@ -459,6 +464,7 @@ class ThreadedKvServer(_BaseTcpServer):
 
     def _serve_connection(self, conn: socket.socket) -> None:
         session = KvServer(self.store)  # per-connection input buffer
+        parser = session.parser
         try:
             with selectors.DefaultSelector() as sel:
                 sel.register(conn, selectors.EVENT_READ)
@@ -470,12 +476,13 @@ class ThreadedKvServer(_BaseTcpServer):
                     if not any(key.fileobj is conn for key, __ in ready):
                         continue
                     try:
-                        data = conn.recv(_RECV_SIZE)
+                        with parser.recv_view(_RECV_SIZE) as view:
+                            nbytes = conn.recv_into(view)
                     except OSError:
                         break
-                    if not data:
+                    if not nbytes:
                         break
-                    session.feed_input(data)
+                    parser.commit_recv(nbytes)
                     persist = self.store.persistence
                     while True:
                         with self._lock:  # one acquisition per command
@@ -575,12 +582,13 @@ class TcpKvClient:
                     if not readable and not writable:
                         raise TimeoutError("pipeline send timed out")
                     if readable:
-                        data = sock.recv(_RECV_SIZE)
-                        if not data:
+                        with self._parser.recv_view(_RECV_SIZE) as rview:
+                            nbytes = sock.recv_into(rview)
+                        if not nbytes:
                             raise ConnectionError(
                                 "server closed the connection"
                             )
-                        self._parser.feed(data)
+                        self._parser.commit_recv(nbytes)
                     if writable:
                         try:
                             sent += sock.send(view[sent:])
@@ -598,10 +606,11 @@ class TcpKvClient:
             self._replies.extend(self._parser.parse_all())
             if self._replies:
                 break
-            data = self._sock.recv(_RECV_SIZE)
-            if not data:
+            with self._parser.recv_view(_RECV_SIZE) as view:
+                nbytes = self._sock.recv_into(view)
+            if not nbytes:
                 raise ConnectionError("server closed the connection")
-            self._parser.feed(data)
+            self._parser.commit_recv(nbytes)
         reply = self._replies.popleft()
         if raise_errors and isinstance(reply, RespError):
             raise reply

@@ -1,0 +1,64 @@
+"""Shared precompiled wire codecs: struct frames and RESP fragments.
+
+Two byte-level planes meet in the kvstore — the RESP serving plane
+(``resp.py``) and the durability plane (``persist/codec.py``) — and
+both pay per-operation encoding costs on the hot path. This module
+holds the precompiled pieces they share so neither plane re-derives
+them per call:
+
+* :data:`U32` / :data:`U64` / :data:`FRAME_HEADER` — the
+  ``struct.Struct`` codecs for the durability frame format
+  (``u32 length | u32 crc | payload``) and its little-endian integer
+  fields. Compiled once at import; ``pack``/``unpack_from`` on a
+  precompiled Struct skips the per-call format-string parse.
+* Interned RESP reply fragments — the complete wire encodings of the
+  replies a server emits millions of times (``+OK``, null bulk, empty
+  array/bulk, small integers) and the bulk-string length headers for
+  short payloads. ``encode_reply_into`` appends these shared bytes
+  objects directly instead of formatting a fresh one per reply.
+"""
+
+from __future__ import annotations
+
+from struct import Struct
+
+__all__ = [
+    "BULK_HEADERS",
+    "CRLF",
+    "EMPTY_ARRAY_REPLY",
+    "EMPTY_BULK_REPLY",
+    "FRAME_HEADER",
+    "INT_REPLIES",
+    "NULL_BULK_REPLY",
+    "OK_REPLY",
+    "U32",
+    "U64",
+]
+
+CRLF = b"\r\n"
+
+#: little-endian frame integer codecs (shared with ``persist/codec.py``)
+U32 = Struct("<I")
+U64 = Struct("<Q")
+#: the durability frame header: payload length, crc32(payload)
+FRAME_HEADER = Struct("<II")
+
+# ----------------------------------------------------------------------
+# interned RESP reply fragments
+# ----------------------------------------------------------------------
+
+#: the single most common server reply, fully encoded
+OK_REPLY = b"+OK\r\n"
+#: null bulk string ($-1) — every GET miss
+NULL_BULK_REPLY = b"$-1\r\n"
+#: empty array (*0) — empty KEYS/HGETALL/... results
+EMPTY_ARRAY_REPLY = b"*0\r\n"
+#: empty bulk string ($0)
+EMPTY_BULK_REPLY = b"$0\r\n\r\n"
+
+#: fully-encoded integer replies for the small values INCR/DEL/EXISTS/
+#: TTL-style commands overwhelmingly return (index = value)
+INT_REPLIES = tuple(b":%d\r\n" % i for i in range(128))
+
+#: bulk-string length headers ``$N\r\n`` for short payloads (index = N)
+BULK_HEADERS = tuple(b"$%d\r\n" % i for i in range(256))

@@ -75,6 +75,9 @@ class KvObservability:
         self._slow_s = slowlog_threshold_us / 1e6
         self.commands = 0
         self.protocol_errors = 0
+        #: bytes fed to a parser but discarded by an error quarantine
+        #: (the poisoned frame and everything buffered behind it)
+        self.protocol_dropped_bytes = 0
         self.batch_hist = self.registry.histogram(
             "server.pipeline_batch", bounds=BATCH_BOUNDS
         )

@@ -46,7 +46,12 @@ from repro.core.locking import LockedSoftMemoryAllocator
 from repro.daemon.policy import SelectionConfig
 from repro.daemon.smd import SmdConfig, SoftMemoryDaemon
 from repro.kvstore.persist.engine import Persistence, PersistenceConfig
-from repro.kvstore.resp import RespError, RespParser
+from repro.kvstore.resp import (
+    PIPELINE_MORE,
+    ProtocolError,
+    RespError,
+    RespParser,
+)
 from repro.kvstore.store import DataStore
 from repro.kvstore.tcp import EventLoopKvServer, TcpKvClient
 from repro.obs.plane import bind_smd
@@ -144,6 +149,7 @@ class SoakHarness:
         self._last_monotonic: dict[str, float] = {}
         self.phases_run: list[str] = []
         self.poison_frames_sent = 0
+        self.poison_bytes_dropped = 0
         self.checks_run = 0
 
     # -- traffic phases -------------------------------------------------
@@ -237,17 +243,39 @@ class SoakHarness:
             b"*-7\r\n",  # invalid array length
         ]
         for i in range(frames):
+            poison = poisons[i % len(poisons)]
             with socket.create_connection(
                 self.server.address, timeout=10.0
             ) as sock:
-                sock.sendall(poisons[i % len(poisons)])
+                sock.sendall(poison)
                 data = sock.recv(65536)
                 parser = RespParser()
                 parser.feed(data)
                 reply = parser.parse_one()
                 assert isinstance(reply, RespError), reply
             self.poison_frames_sent += 1
+            self.poison_bytes_dropped += self._expected_drop(poison)
         self._finish_phase("poison")
+
+    @staticmethod
+    def _expected_drop(poison: bytes) -> int:
+        """Bytes a server parser must quarantine for this payload.
+
+        Replays the payload through a scratch parser exactly the way
+        the server pump does, so the soak's dropped-bytes expectation
+        is derived, not hand-maintained alongside the poison list.
+        """
+        scratch = RespParser()
+        scratch.feed(poison)
+        try:
+            while True:
+                frames: list[object] = []
+                if scratch.parse_pipeline(frames) == PIPELINE_MORE:
+                    return 0  # drained or incomplete: nothing dropped
+                if scratch.parse_one() is None:
+                    return 0
+        except ProtocolError:
+            return scratch.last_error_dropped
 
     def _finish_phase(self, name: str) -> None:
         self.phases_run.append(name)
@@ -336,6 +364,14 @@ class SoakHarness:
             f"sent {sent_before_info}{where}"
         )
         assert int(fields["protocol_errors"]) == self.protocol_errors_expected
+        # the poison drop is explicit in stats: every byte fed but
+        # thrown away by a parser quarantine is accounted, exactly
+        assert (
+            int(fields["protocol_dropped_bytes"]) == self.poison_bytes_dropped
+        ), (
+            f"INFO says {fields['protocol_dropped_bytes']} dropped bytes, "
+            f"poison phases dropped {self.poison_bytes_dropped}{where}"
+        )
 
         # 7 (wire half): the INFO Persistence section a client sees
         # reports the very same bytes the filesystem does

@@ -29,8 +29,14 @@ def test_soak_all_phases_hold_invariants():
         assert soak.store.stats.oom_denials > 0
         assert soak.sma.stats.degraded_denials > 0
         assert soak.client.error_replies > 0
-        # ... and the poison frames were contained and counted
+        # ... and the poison frames were contained and counted, with
+        # the quarantined bytes accounted rather than silently dropped
         assert soak.store.obs.protocol_errors == soak.poison_frames_sent
+        assert soak.poison_bytes_dropped > 0
+        assert (
+            soak.store.obs.protocol_dropped_bytes
+            == soak.poison_bytes_dropped
+        )
 
 
 def test_soak_with_persistence_is_exact_and_recoverable(tmp_path):
