@@ -7,6 +7,12 @@ that utilization stays low. This package provides a synthetic-trace
 cluster simulator with two pressure policies — kill-based (the status
 quo) and soft-memory-aware — so those claims become measurable:
 evictions, wasted CPU-seconds, and achieved utilization.
+
+Not to be confused with ``repro.kvstore.cluster``, the kvstore's
+*serving-plane* cluster: that package runs N real shard server
+processes with hash slots, ``MOVED`` redirects, and one machine-wide
+SMD. This package simulates a scheduler; nothing here opens a socket
+or serves a request.
 """
 
 from repro.cluster.job import Job, JobState

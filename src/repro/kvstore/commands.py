@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.core.errors import SoftMemoryDenied
+from repro.kvstore.cluster.slots import SLOT_COUNT, key_hash_slot
 from repro.kvstore.resp import OK, PONG, RespError, SimpleString
 from repro.kvstore.store import DataStore, _glob_regex
 from repro.kvstore.values import WrongTypeError
@@ -321,10 +322,26 @@ def _info_sections(store: DataStore) -> list[tuple[str, list[str]]]:
             f"{name}:{value}"
             for name, value in persist.stats.as_dict().items()
         )
+    state = store.cluster
+    if state is None:
+        cluster = ["cluster_enabled:0"]
+    else:
+        node = state.myself
+        cluster = [
+            "cluster_enabled:1",
+            f"cluster_shard_id:{state.shard_index}",
+            f"cluster_node_id:{state.node_id}",
+            f"cluster_known_nodes:{len(state.nodes)}",
+            f"cluster_slots_owned:{node.slot_count}",
+            f"cluster_slot_range:{node.start}-{node.end}",
+            f"cluster_moved_replies:{state.moved_replies}",
+            f"cluster_crossslot_replies:{state.crossslot_replies}",
+        ]
     return [
         ("Server", server),
         ("Keyspace", keyspace),
         ("Persistence", persistence),
+        ("Cluster", cluster),
         ("SoftMemory", soft),
         ("Stats", stats),
         ("Latency", latency),
@@ -498,6 +515,83 @@ def cmd_memory(store: DataStore, args: list[bytes]) -> Any:
             flat.append(value if isinstance(value, int) else str(value).encode())
         return flat
     return RespError(f"ERR unknown MEMORY subcommand {sub.decode()!r}")
+
+
+_CLUSTER_DISABLED = RespError(
+    "ERR This instance has cluster support disabled"
+)
+
+
+def cmd_cluster(store: DataStore, args: list[bytes]) -> Any:
+    """CLUSTER KEYSLOT/SLOTS/SHARDS/MYID/INFO (static-topology shapes).
+
+    ``KEYSLOT`` answers on any server (the hash is topology-free);
+    ``SLOTS``/``SHARDS`` answer the empty array on a standalone server
+    so cluster clients can probe any node and degrade gracefully.
+    """
+    if not args:
+        return _wrong_args("cluster")
+    sub = args[0].upper()
+    state = store.cluster
+    if sub == b"KEYSLOT":
+        if len(args) != 2:
+            return _wrong_args("cluster keyslot")
+        return key_hash_slot(args[1])
+    if sub == b"SLOTS":
+        if len(args) != 1:
+            return _wrong_args("cluster slots")
+        if state is None:
+            return []
+        return [
+            [
+                node.start,
+                node.end,
+                [node.host.encode(), node.port, node.node_id.encode()],
+            ]
+            for node in state.nodes
+        ]
+    if sub == b"SHARDS":
+        if len(args) != 1:
+            return _wrong_args("cluster shards")
+        if state is None:
+            return []
+        return [
+            [
+                b"slots", [node.start, node.end],
+                b"nodes", [[
+                    b"id", node.node_id.encode(),
+                    b"endpoint", node.host.encode(),
+                    b"port", node.port,
+                    b"role", b"master",
+                    b"health", b"online",
+                ]],
+            ]
+            for node in state.nodes
+        ]
+    if sub == b"MYID":
+        if len(args) != 1:
+            return _wrong_args("cluster myid")
+        if state is None:
+            return _CLUSTER_DISABLED
+        return state.node_id.encode()
+    if sub == b"INFO":
+        if len(args) != 1:
+            return _wrong_args("cluster info")
+        if state is None:
+            lines = ["cluster_enabled:0", "cluster_state:ok"]
+        else:
+            lines = [
+                "cluster_enabled:1",
+                "cluster_state:ok",
+                f"cluster_slots_assigned:{SLOT_COUNT}",
+                f"cluster_known_nodes:{len(state.nodes)}",
+                f"cluster_size:{len(state.nodes)}",
+            ]
+        return ("\r\n".join(lines) + "\r\n").encode()
+    return RespError(
+        f"ERR unknown CLUSTER subcommand "
+        f"{sub.decode(errors='backslashreplace')!r}"
+    )
 
 
 def cmd_type(store: DataStore, args: list[bytes]) -> Any:
@@ -729,6 +823,7 @@ COMMANDS: dict[bytes, Handler] = {
     b"SLOWLOG": cmd_slowlog,
     b"CONFIG": cmd_config,
     b"MEMORY": cmd_memory,
+    b"CLUSTER": cmd_cluster,
     b"TYPE": cmd_type,
     b"GETDEL": cmd_getdel,
     b"GETRANGE": cmd_getrange,
@@ -789,6 +884,13 @@ def dispatch(store: DataStore, argv: list[bytes]) -> Any:
     """Execute one parsed command vector against the store."""
     if not argv:
         return _EMPTY_CMD
+    # cluster gate: a shard answers MOVED for keys outside its slot
+    # range before any execution. Standalone stores pay one attribute
+    # load and a None check per command — nothing else.
+    if store.cluster is not None:
+        redirect = store.cluster.check(argv)
+        if redirect is not None:
+            return redirect
     name = argv[0]
     try:
         # GET/SET dominate cache workloads; their common shapes skip

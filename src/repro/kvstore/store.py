@@ -41,6 +41,7 @@ from repro.kvstore.values import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kvstore.cluster.state import ClusterState
     from repro.kvstore.persist.engine import Persistence
 
 
@@ -127,6 +128,10 @@ class DataStore:
         self._rng = random.Random(0)
         #: durability plane; None until :meth:`attach_persistence`
         self._persist: "Persistence | None" = None
+        #: cluster topology; None (standalone) until :meth:`attach_cluster`.
+        #: Public because the dispatcher reads it per command — one
+        #: attribute load is the whole standalone-mode cost.
+        self.cluster: "ClusterState | None" = None
         #: observability plane shared by every server wrapping this store
         self.obs = KvObservability(name=name)
         bind_store(self.obs.registry, self)
@@ -695,6 +700,17 @@ class DataStore:
     @property
     def persistence(self) -> "Persistence | None":
         return self._persist
+
+    def attach_cluster(self, state: "ClusterState") -> "ClusterState":
+        """Bind this store to one shard of a hash-slot cluster.
+
+        From here on the dispatcher answers ``MOVED`` for keys outside
+        the shard's slot range; see ``repro.kvstore.cluster``.
+        """
+        if self.cluster is not None:
+            raise RuntimeError("a cluster topology is already attached")
+        self.cluster = state
+        return state
 
     def _restore_write(
         self, key: bytes, value: Value, ex: float | None

@@ -534,17 +534,32 @@ class TcpKvClient:
     queue: when one ``recv`` delivers several parsed replies (batched
     or pipelined), the extras are kept for the following calls instead
     of being discarded — the client can never desync from the server.
+
+    ``timeout`` bounds every read/write after the connection is up;
+    ``connect_timeout`` bounds only the dial (it defaults to
+    ``timeout``, but a supervisor health-checking a possibly-dead shard
+    wants a short dial bound without throttling data reads).
     """
 
-    def __init__(self, address: tuple[str, int], timeout: float = 5.0) -> None:
+    def __init__(
+        self,
+        address: tuple[str, int],
+        timeout: float = 5.0,
+        connect_timeout: float | None = None,
+    ) -> None:
         from collections import deque
 
         from repro.kvstore.resp import RespParser
 
-        self._sock = socket.create_connection(address, timeout=timeout)
+        self._sock = socket.create_connection(
+            address,
+            timeout=timeout if connect_timeout is None else connect_timeout,
+        )
+        self._sock.settimeout(timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._parser = RespParser()
         self._replies: "deque[object]" = deque()
+        self._closed = False
 
     def execute(self, *args: object) -> object:
         """Send one command, block for its reply."""
@@ -616,7 +631,19 @@ class TcpKvClient:
             raise reply
         return reply
 
+    def settimeout(self, timeout: float | None) -> None:
+        """Rebound the read/write timeout of the live connection."""
+        self._sock.settimeout(timeout)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
+        """Close the socket; safe to call any number of times."""
+        if self._closed:
+            return
+        self._closed = True
         self._sock.close()
 
     def __enter__(self) -> "TcpKvClient":

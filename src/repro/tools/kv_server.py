@@ -7,6 +7,14 @@ on SIGTERM/SIGINT: stop accepting, flush the append-only log with a
 final fsync, write a closing snapshot, exit 0. A second signal while
 shutdown is running is a no-op — never a crash or a double flush.
 
+The same entry point runs one **cluster shard**: ``--cluster-shard I``
+with ``--cluster-nodes host:port,...`` attaches the hash-slot topology
+(this process serves node I's slot range and answers ``MOVED`` for the
+rest), and ``--smd-socket PATH`` registers the process's SMA with the
+machine-wide Soft Memory Daemon over the RPC plane instead of running
+budget-free — which is how N shard processes come to share one soft
+capacity ledger. ``repro.tools.kv_cluster`` spawns exactly this shape.
+
 The process prints one machine-readable line once it is accepting::
 
     READY <host> <port>
@@ -43,21 +51,60 @@ def build_server(
     appendfsync: str = "everysec",
     threaded: bool = False,
     sma_pages: int | None = None,
+    smd_socket: str | None = None,
+    cluster_shard: int | None = None,
+    cluster_nodes: str | None = None,
     name: str = "kv-server",
 ):
     """Construct (store, persistence-or-None, unstarted server).
 
     Importable so tests can assemble the exact process shape the CLI
     runs without spawning a subprocess.
+
+    ``smd_socket`` registers the SMA with an out-of-process daemon over
+    the RPC plane; the live :class:`~repro.rpc.agent.SmaAgent` is
+    stashed on ``store.smd_agent`` so the shutdown path can close it
+    (forfeiting the budget back to the machine-wide ledger).
+    ``cluster_shard``/``cluster_nodes`` attach the hash-slot topology;
+    the node's own host:port from the table overrides ``host``/``port``.
     """
+    if cluster_shard is not None:
+        if not cluster_nodes:
+            raise ValueError("--cluster-shard requires --cluster-nodes")
+        from repro.kvstore.cluster.state import ClusterState
+
+        addresses = []
+        for spec in cluster_nodes.split(","):
+            node_host, _, node_port = spec.strip().rpartition(":")
+            addresses.append((node_host, int(node_port)))
+        cluster_state = ClusterState(cluster_shard, addresses)
+        host, port = addresses[cluster_shard]
+        name = f"{name}-shard{cluster_shard}"
+    else:
+        cluster_state = None
+
     sma = LockedSoftMemoryAllocator(name=name)
-    if sma_pages is not None:
+    agent = None
+    if smd_socket is not None:
+        # the machine-wide budget: this process's SMA becomes one
+        # tenant of the single daemon all shards share
+        from repro.rpc.agent import SmaAgent
+
+        agent = SmaAgent.connect(smd_socket, sma)
+    elif sma_pages is not None:
         # a real budget: an in-process daemon with finite capacity, so
         # over-budget writes are denied (and replay re-admission gated)
         from repro.daemon.smd import SoftMemoryDaemon
 
         SoftMemoryDaemon(soft_capacity_pages=sma_pages).register(sma)
     store = DataStore(sma)
+    store.smd_agent = agent
+    if agent is not None:
+        from repro.obs.plane import bind_agent
+
+        bind_agent(store.obs.registry, agent)
+    if cluster_state is not None:
+        store.attach_cluster(cluster_state)
     persistence = None
     if data_dir is not None:
         persistence = Persistence(
@@ -75,9 +122,10 @@ def build_server(
 class GracefulShutdown:
     """One-shot shutdown: signal-safe to request, idempotent to run."""
 
-    def __init__(self, server, persistence) -> None:
+    def __init__(self, server, persistence, agent=None) -> None:
         self._server = server
         self._persistence = persistence
+        self._agent = agent
         self._requested = threading.Event()
         self._done = False
         self._lock = threading.Lock()
@@ -98,6 +146,9 @@ class GracefulShutdown:
         self._server.stop()  # drains replies + force-fsyncs the AOF
         if self._persistence is not None:
             self._persistence.close(final_snapshot=True)
+        if self._agent is not None:
+            # forfeit the remaining grant back to the machine ledger
+            self._agent.close()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -136,6 +187,22 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="cap the local soft memory budget (pages)",
     )
+    parser.add_argument(
+        "--smd-socket",
+        default=None,
+        help="unix socket of the machine-wide SMD; overrides --sma-pages",
+    )
+    parser.add_argument(
+        "--cluster-shard",
+        type=int,
+        default=None,
+        help="serve shard N of a hash-slot cluster (needs --cluster-nodes)",
+    )
+    parser.add_argument(
+        "--cluster-nodes",
+        default=None,
+        help="comma-separated host:port of every shard, in shard order",
+    )
     args = parser.parse_args(argv)
 
     if args.dir is None and args.appendonly == "yes" and "--appendonly" in (
@@ -143,7 +210,7 @@ def main(argv: list[str] | None = None) -> int:
     ):
         parser.error("--appendonly requires --dir")
 
-    __, persistence, server = build_server(
+    store, persistence, server = build_server(
         host=args.host,
         port=args.port,
         data_dir=args.dir,
@@ -151,8 +218,11 @@ def main(argv: list[str] | None = None) -> int:
         appendfsync=args.appendfsync,
         threaded=args.threaded,
         sma_pages=args.sma_pages,
+        smd_socket=args.smd_socket,
+        cluster_shard=args.cluster_shard,
+        cluster_nodes=args.cluster_nodes,
     )
-    shutdown = GracefulShutdown(server, persistence)
+    shutdown = GracefulShutdown(server, persistence, store.smd_agent)
     signal.signal(signal.SIGTERM, shutdown.request)
     signal.signal(signal.SIGINT, shutdown.request)
 

@@ -7,12 +7,19 @@ and after an experiment diff into "what happened in between": every
 numeric series is subtracted, which is exactly meaningful for the
 monotonic counters and histogram counts the soak harness relies on.
 
+Repeating ``--addr host:port`` snapshots a whole cluster in one
+document: a ``shards`` list with each shard's full snapshot plus a
+merged ``# Stats`` section summing the numeric counters across shards
+(machine-wide ops, hits, reclaims — the view the single SMD budgets
+against).
+
 Usage::
 
     python -m repro.tools.metrics_dump --port 6379 > before.json
     ... run traffic ...
     python -m repro.tools.metrics_dump --port 6379 > after.json
     python -m repro.tools.metrics_dump --diff before.json after.json
+    python -m repro.tools.metrics_dump --addr :7000 --addr :7001
 """
 
 from __future__ import annotations
@@ -82,6 +89,45 @@ def snapshot(
     }
 
 
+def parse_addr(spec: str, *, default_host: str = "127.0.0.1") -> tuple[str, int]:
+    """``host:port`` (or bare ``:port``) → ``(host, port)``."""
+    host, sep, port = spec.rpartition(":")
+    if not sep:
+        raise ValueError(f"--addr wants host:port, got {spec!r}")
+    return (host or default_host, int(port))
+
+
+def cluster_snapshot(
+    addresses: list[tuple[str, int]], *, slowlog_count: int = 16
+) -> dict[str, Any]:
+    """Per-shard snapshots plus summed machine-wide ``# Stats``.
+
+    Shards that refuse the connection are recorded as
+    ``{"address": ..., "error": ...}`` rather than failing the whole
+    dump — a cluster mid-restart still yields a useful document.
+    """
+    shards: list[dict[str, Any]] = []
+    totals: dict[str, Any] = {}
+    reachable = 0
+    for host, port in addresses:
+        try:
+            shard = snapshot(host, port, slowlog_count=slowlog_count)
+        except (OSError, ConnectionError) as exc:
+            shards.append({"address": f"{host}:{port}", "error": str(exc)})
+            continue
+        shards.append(shard)
+        reachable += 1
+        for key, value in shard["info"].get("Stats", {}).items():
+            if isinstance(value, (int, float)):
+                totals[key] = round(totals.get(key, 0) + value, 9)
+    return {
+        "shards": shards,
+        "shard_count": len(addresses),
+        "shards_reachable": reachable,
+        "stats_total": totals,
+    }
+
+
 def diff(before: dict[str, Any], after: dict[str, Any]) -> dict[str, Any]:
     """Numeric ``after - before`` over the INFO sections.
 
@@ -114,6 +160,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=6379)
     parser.add_argument(
+        "--addr",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="shard address; repeat for a merged multi-shard snapshot",
+    )
+    parser.add_argument(
         "--slowlog-count",
         type=int,
         default=16,
@@ -139,6 +192,11 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.diff[1]) as fh:
             after = json.load(fh)
         document = diff(before, after)
+    elif args.addr:
+        document = cluster_snapshot(
+            [parse_addr(spec, default_host=args.host) for spec in args.addr],
+            slowlog_count=args.slowlog_count,
+        )
     else:
         document = snapshot(
             args.host, args.port, slowlog_count=args.slowlog_count
