@@ -1,0 +1,454 @@
+"""Scenario matrix: workload presets × soft-memory pressure × durability.
+
+The standing regression harness every serving-plane PR reports
+against. Each *cell* of the matrix boots a fresh, self-contained
+machine — an in-process SMD arbitrating tight soft capacity, the
+store's SMA plus an antagonist SMA registered against it, an
+:class:`EventLoopKvServer` on live TCP, optional AOF persistence —
+prefills the key space (the YCSB load phase), then drives a seeded
+:class:`~repro.loadgen.engine.OperationStream` at the server while the
+cell's pressure phase runs:
+
+* ``none``       — ample budget, no interference (the baseline);
+* ``antagonist`` — a second SMA allocates in waves, forcing the daemon
+  to reclaim keyspace entries *during* the measured run;
+* ``degraded``   — the store's SMA is cut off from the daemon
+  (``mark_degraded``), so every new-budget demand surfaces as an OOM
+  error reply.
+
+Per-cell metrics come from two sources stitched together: the driver's
+own throughput/latency tally, and a ``metrics_dump`` snapshot/diff of
+the live server's INFO (soft hit rate, OOM denials, reclaimed keys —
+the soft-memory story uniform synthetic load can't tell). Each cell
+also records its stream's SHA-256 digest: equal digests across runs
+and machines certify byte-identical operation streams.
+
+Configuration:
+
+* ``BENCH_SCENARIOS_SECONDS``  — measured seconds per cell (default
+  0.2: CI-smoke scale; the committed ``BENCH_scenarios.json`` uses 1.0).
+* ``BENCH_SCENARIOS_PRESETS`` / ``_PRESSURES`` / ``_PERSISTS`` —
+  comma-separated axis overrides (test default: the reduced
+  2×2×1 smoke matrix; ``main()`` default: the full 3×3×2).
+* ``BENCH_SCENARIOS_JSON``    — path to write results (default: skip
+  under pytest).
+* ``BENCH_SCENARIOS_MAX_REGRESSION`` — per-cell gate tolerance on
+  *relative* throughput vs the committed matrix (default 0.10).
+
+Run:  pytest benchmarks/bench_scenarios.py --benchmark-only -q -s
+or:   python benchmarks/bench_scenarios.py   (full matrix, writes
+      BENCH_scenarios.json in the repo root)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import threading
+import time
+
+from repro.core.errors import SoftMemoryDenied
+from repro.core.locking import LockedSoftMemoryAllocator
+from repro.daemon.policy import SelectionConfig
+from repro.daemon.smd import SmdConfig, SoftMemoryDaemon
+from repro.kvstore.persist.engine import Persistence, PersistenceConfig
+from repro.kvstore.store import DataStore
+from repro.kvstore.tcp import EventLoopKvServer, TcpKvClient
+from repro.loadgen.driver import drive
+from repro.loadgen.engine import OperationStream, stream_digest
+from repro.loadgen.spec import WorkloadSpec, preset
+from repro.obs.plane import bind_smd
+from repro.tools.metrics_dump import diff, snapshot
+from repro.util.units import PAGE_SIZE
+
+COMMITTED_JSON = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_scenarios.json",
+)
+
+SEED = 7
+#: bench-sized key space: the prefill must fit the smoke budget
+KEYSPACE = 2048
+#: soft capacity handed to the SMD per cell (pages)
+CAPACITY_PAGES = 512
+#: budget each SMA receives at registration
+STARTUP_BUDGET_PAGES = 32
+
+#: full matrix (``main()``); the pytest smoke trims via env
+FULL_PRESETS = ("ycsb-b", "hot-key", "write-heavy")
+FULL_PRESSURES = ("none", "antagonist", "degraded")
+FULL_PERSISTS = ("off", "everysec")
+#: reduced smoke matrix (the CI ``scenario-smoke`` job's default)
+SMOKE_PRESETS = ("ycsb-b", "hot-key")
+SMOKE_PRESSURES = ("none", "antagonist")
+SMOKE_PERSISTS = ("off",)
+
+
+def bench_spec(preset_name: str) -> WorkloadSpec:
+    """The preset, resized for the bench machine.
+
+    Values go variable-size (uniform 64–1024 unless the preset already
+    declares a distribution) so overwrites genuinely reallocate — the
+    allocation traffic that makes pressure phases bite. Fixed-size
+    overwrites would update in place and hide the soft-memory story.
+    """
+    spec = preset(preset_name, keyspace=KEYSPACE)
+    if spec.value_dist == "fixed":
+        spec = preset(
+            preset_name,
+            keyspace=KEYSPACE,
+            value_dist="uniform",
+            value_lo=64,
+            value_hi=1024,
+        )
+    return spec
+
+
+class Antagonist(threading.Thread):
+    """Waves of competing soft allocations during the measured run.
+
+    Allocates chunk after chunk (under the server's execution lock,
+    like any out-of-band reclamation source) until the daemon denies or
+    a high-water mark is reached, then frees everything and starts the
+    next wave — repeated reclamation pressure instead of one saturating
+    push.
+    """
+
+    def __init__(
+        self,
+        server: EventLoopKvServer,
+        sma: LockedSoftMemoryAllocator,
+        *,
+        chunk_pages: int = 8,
+        high_water_pages: int = CAPACITY_PAGES // 2,
+    ) -> None:
+        super().__init__(name="scenario-antagonist", daemon=True)
+        self._server = server
+        self._sma = sma
+        self._chunk = chunk_pages
+        self._high_water = high_water_pages
+        self._halt = threading.Event()
+        self.waves = 0
+        self.denials = 0
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=10)
+
+    def run(self) -> None:
+        ctx = self._sma.create_context(name="blob", priority=10)
+        ptrs: list[object] = []
+        held = 0
+        try:
+            while not self._halt.is_set():
+                size = self._chunk * PAGE_SIZE - 64
+                try:
+                    with self._server._lock:
+                        ptr = self._sma.soft_malloc(size, ctx, payload=b"x")
+                except SoftMemoryDenied:
+                    self.denials += 1
+                    held = self._high_water  # saturated: end the wave
+                else:
+                    ptrs.append(ptr)
+                    held += self._chunk
+                if held >= self._high_water:
+                    with self._server._lock:
+                        for ptr in ptrs:
+                            self._sma.soft_free(ptr)
+                    ptrs.clear()
+                    held = 0
+                    self.waves += 1
+                    time.sleep(0.002)  # let the keyspace re-admit
+        finally:
+            with self._server._lock:
+                for ptr in ptrs:
+                    self._sma.soft_free(ptr)
+
+
+def run_cell(
+    preset_name: str, pressure: str, persist_mode: str, seconds: float
+) -> dict:
+    """One matrix cell: fresh machine, prefill, pressured measured run."""
+    spec = bench_spec(preset_name)
+    label = f"{preset_name}/{pressure}/{persist_mode}"
+    smd = SoftMemoryDaemon(
+        CAPACITY_PAGES,
+        SmdConfig(
+            selection=SelectionConfig(target_cap=3),
+            startup_budget_pages=STARTUP_BUDGET_PAGES,
+        ),
+    )
+    sma = LockedSoftMemoryAllocator(name=f"cell-{label}")
+    smd.register(sma)
+    antagonist_sma = LockedSoftMemoryAllocator(name=f"antagonist-{label}")
+    smd.register(antagonist_sma)
+    store = DataStore(sma, name=f"scenario-{label}")
+    persist = None
+    data_dir = None
+    if persist_mode != "off":
+        data_dir = tempfile.mkdtemp(prefix="bench-scenarios-")
+        persist = Persistence(
+            PersistenceConfig(dir=data_dir, appendfsync=persist_mode)
+        )
+        store.attach_persistence(persist)
+    bind_smd(store.obs.registry, smd)
+    server = EventLoopKvServer(store).start()
+    client = None
+    antagonist = None
+    try:
+        client = TcpKvClient(server.address, timeout=30.0)
+        stream = OperationStream(spec, SEED)
+        prefill = drive(
+            client, stream.prefill_batches(), max_ops=spec.keyspace
+        )
+        host, port = server.address
+        before = snapshot(host, port)
+        if pressure == "antagonist":
+            antagonist = Antagonist(server, antagonist_sma)
+            antagonist.start()
+        elif pressure == "degraded":
+            sma.mark_degraded(True)
+        try:
+            report = drive(client, stream.batches(), duration=seconds)
+        finally:
+            if pressure == "degraded":
+                sma.mark_degraded(False)
+            if antagonist is not None:
+                antagonist.stop()
+        after = snapshot(host, port)
+        delta = diff(before, after)["diff"]
+        keyspace = delta.get("Keyspace", {})
+        hits = keyspace.get("hits", 0)
+        misses = keyspace.get("misses", 0)
+        lookups = hits + misses
+        row = {
+            "preset": preset_name,
+            "pressure": pressure,
+            "persistence": persist_mode,
+            "seed": SEED,
+            "keyspace": spec.keyspace,
+            "prefill_ops": prefill.ops,
+            "ops": report.ops,
+            "ops_per_sec": round(report.ops_per_sec, 1),
+            "batch_p50_ms": round(report.batch_p50_ms, 4),
+            "batch_p99_ms": round(report.batch_p99_ms, 4),
+            "soft_hit_rate": round(hits / lookups, 4) if lookups else None,
+            "oom_denials": keyspace.get("oom_denials", 0),
+            "reclaimed_keys": keyspace.get("reclaimed_keys", 0),
+            "expired_keys": keyspace.get("expired_keys", 0),
+            "error_replies": report.errors,
+            "stream_digest": stream_digest(spec, SEED),
+        }
+        if antagonist is not None:
+            row["antagonist_waves"] = antagonist.waves
+            row["antagonist_denials"] = antagonist.denials
+        if persist is not None:
+            persist.flush(force_fsync=True)
+            row["aof_bytes"] = persist.aof_size
+        return row
+    finally:
+        if client is not None:
+            client.close()
+        server.stop()
+        if persist is not None:
+            persist.close()
+        if data_dir is not None:
+            shutil.rmtree(data_dir, ignore_errors=True)
+
+
+def _axis(env: str, default: tuple[str, ...]) -> tuple[str, ...]:
+    raw = os.environ.get(env)
+    if not raw:
+        return default
+    return tuple(part.strip() for part in raw.split(",") if part.strip())
+
+
+def run_matrix(
+    presets: tuple[str, ...],
+    pressures: tuple[str, ...],
+    persists: tuple[str, ...],
+    seconds: float,
+) -> list[dict]:
+    rows = []
+    for preset_name in presets:
+        for pressure in pressures:
+            for persist_mode in persists:
+                rows.append(
+                    run_cell(preset_name, pressure, persist_mode, seconds)
+                )
+    return rows
+
+
+def summarize(rows: list[dict]) -> dict:
+    """Relative throughput per cell vs its preset's none/off baseline.
+
+    Ratios are what transfer across machines — absolute ops/s on a
+    loaded CI container do not — so the regression gate compares
+    relatives.
+    """
+    baselines = {
+        row["preset"]: row["ops_per_sec"]
+        for row in rows
+        if row["pressure"] == "none" and row["persistence"] == "off"
+    }
+    relative: dict[str, float] = {}
+    for row in rows:
+        base = baselines.get(row["preset"])
+        if base:
+            relative[_cell_key(row)] = round(row["ops_per_sec"] / base, 4)
+    return {
+        "cells": len(rows),
+        "relative_throughput": relative,
+        "total_oom_denials": sum(row["oom_denials"] for row in rows),
+        "total_reclaimed_keys": sum(row["reclaimed_keys"] for row in rows),
+    }
+
+
+def _cell_key(row: dict) -> str:
+    return f"{row['preset']}/{row['pressure']}/{row['persistence']}"
+
+
+def print_table(rows: list[dict]) -> None:
+    print("\n")
+    print("=" * 96)
+    print("Scenario matrix: workload preset x pressure phase x persistence")
+    print("-" * 96)
+    print(
+        f"{'cell':>34} {'ops/s':>9} {'p99 ms':>8} {'hit%':>6} "
+        f"{'oom':>6} {'reclaimed':>9} {'errors':>7}"
+    )
+    for row in rows:
+        hit = row["soft_hit_rate"]
+        print(
+            f"{_cell_key(row):>34} {row['ops_per_sec']:>9.0f} "
+            f"{row['batch_p99_ms']:>8.2f} "
+            f"{100 * hit if hit is not None else 0:>6.1f} "
+            f"{row['oom_denials']:>6} {row['reclaimed_keys']:>9} "
+            f"{row['error_replies']:>7}"
+        )
+    print("=" * 96)
+
+
+def write_json(rows: list[dict], headline: dict, path: str,
+               seconds: float) -> None:
+    document = {
+        "benchmark": "bench_scenarios",
+        "seconds_per_cell": seconds,
+        "seed": SEED,
+        "keyspace": KEYSPACE,
+        "capacity_pages": CAPACITY_PAGES,
+        "headline": headline,
+        "cells": rows,
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+
+
+def check_structure(rows: list[dict]) -> None:
+    """Shape assertions that hold at any time budget on any machine."""
+    for row in rows:
+        assert row["ops"] > 0, f"{_cell_key(row)} drove no operations"
+        assert row["prefill_ops"] == row["keyspace"]
+        if row["pressure"] == "antagonist":
+            assert row["antagonist_waves"] + row["antagonist_denials"] > 0, (
+                f"{_cell_key(row)}: antagonist never created pressure"
+            )
+        if row["persistence"] != "off":
+            assert row["aof_bytes"] > 0, (
+                f"{_cell_key(row)}: persistence attached but no AOF bytes"
+            )
+    # pressure visibly perturbed the machine somewhere in the matrix
+    pressured = [r for r in rows if r["pressure"] == "antagonist"]
+    if pressured:
+        assert sum(r["reclaimed_keys"] for r in pressured) > 0, (
+            "no antagonist cell forced keyspace reclamation"
+        )
+    degraded = [r for r in rows if r["pressure"] == "degraded"]
+    if degraded:
+        assert sum(r["oom_denials"] for r in degraded) > 0, (
+            "no degraded cell surfaced an OOM denial"
+        )
+    # determinism receipt: same preset => same digest in this run
+    by_preset: dict[str, str] = {}
+    for row in rows:
+        existing = by_preset.setdefault(row["preset"], row["stream_digest"])
+        assert existing == row["stream_digest"], (
+            f"{_cell_key(row)}: stream digest varies within one preset"
+        )
+
+
+def check_regression(rows: list[dict], tolerance: float) -> None:
+    """Per-cell relative-throughput gate against the committed matrix."""
+    if not os.path.exists(COMMITTED_JSON):
+        return
+    with open(COMMITTED_JSON) as handle:
+        committed = json.load(handle)
+    committed_rel = committed["headline"]["relative_throughput"]
+    committed_digests = {
+        row["preset"]: row["stream_digest"] for row in committed["cells"]
+    }
+    current = summarize(rows)["relative_throughput"]
+    for row in rows:
+        # byte-identical streams across machines and runs: the digest
+        # committed on the bench machine must reproduce here exactly
+        want = committed_digests.get(row["preset"])
+        if want is not None:
+            assert row["stream_digest"] == want, (
+                f"{_cell_key(row)}: operation stream diverged from the "
+                f"committed digest — determinism broke"
+            )
+    for key, relative in current.items():
+        baseline = committed_rel.get(key)
+        if baseline is None:
+            continue
+        floor = baseline * (1.0 - tolerance)
+        assert relative >= floor, (
+            f"cell {key}: relative throughput {relative:.3f} fell more "
+            f"than {100 * tolerance:.0f}% below the committed "
+            f"{baseline:.3f}"
+        )
+
+
+def test_scenario_matrix(benchmark):
+    seconds = float(os.environ.get("BENCH_SCENARIOS_SECONDS", "0.2"))
+    presets = _axis("BENCH_SCENARIOS_PRESETS", SMOKE_PRESETS)
+    pressures = _axis("BENCH_SCENARIOS_PRESSURES", SMOKE_PRESSURES)
+    persists = _axis("BENCH_SCENARIOS_PERSISTS", SMOKE_PERSISTS)
+
+    def measure():
+        return run_matrix(presets, pressures, persists, seconds)
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    headline = summarize(rows)
+    print_table(rows)
+
+    json_path = os.environ.get("BENCH_SCENARIOS_JSON")
+    if json_path:
+        write_json(rows, headline, json_path, seconds)
+
+    check_structure(rows)
+    tolerance = float(
+        os.environ.get("BENCH_SCENARIOS_MAX_REGRESSION", "0.10")
+    )
+    check_regression(rows, tolerance)
+
+
+def main() -> None:
+    seconds = float(os.environ.get("BENCH_SCENARIOS_SECONDS", "1.0"))
+    presets = _axis("BENCH_SCENARIOS_PRESETS", FULL_PRESETS)
+    pressures = _axis("BENCH_SCENARIOS_PRESSURES", FULL_PRESSURES)
+    persists = _axis("BENCH_SCENARIOS_PERSISTS", FULL_PERSISTS)
+    rows = run_matrix(presets, pressures, persists, seconds)
+    headline = summarize(rows)
+    print_table(rows)
+    check_structure(rows)
+    path = os.environ.get("BENCH_SCENARIOS_JSON", COMMITTED_JSON)
+    write_json(rows, headline, path, seconds)
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -178,6 +178,7 @@ class ClusterKvClient:
     def execute(self, *args: Any) -> Any:
         """Send one command to its owning shard, chasing redirects."""
         addr = self._addr_for(args)
+        redialed: set[Address] = set()
         for _ in range(self._max_redirects + 1):
             self.commands_sent += 1
             try:
@@ -188,8 +189,12 @@ class ClusterKvClient:
                     raise
                 addr = target
             except (OSError, ConnectionError):
+                # a dead pooled socket usually means the shard process
+                # restarted on its address: redial once before giving up
                 self._drop_conn(addr)
-                raise
+                if addr in redialed:
+                    raise
+                redialed.add(addr)
         raise RespError(f"ERR too many cluster redirects for {args[:1]!r}")
 
     def execute_pipeline(self, *commands: tuple) -> list[Any]:
@@ -212,9 +217,19 @@ class ClusterKvClient:
         strays: list[tuple[int, str]] = []
         for addr, indices in groups.items():
             self.commands_sent += len(indices)
-            burst = self._conn(addr).execute_pipeline(
-                *(commands[i] for i in indices)
-            )
+            try:
+                burst = self._conn(addr).execute_pipeline(
+                    *(commands[i] for i in indices)
+                )
+            except (OSError, ConnectionError):
+                # shard restarted on its address: redial once and resend
+                # the burst — pipelined batches are the loadgen hot path
+                # and must survive a mid-run shard bounce. A second
+                # failure propagates: the shard is really down.
+                self._drop_conn(addr)
+                burst = self._conn(addr).execute_pipeline(
+                    *(commands[i] for i in indices)
+                )
             for i, reply in zip(indices, burst):
                 if isinstance(reply, RespError) and reply.message.startswith(
                     "MOVED "

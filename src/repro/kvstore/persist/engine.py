@@ -385,7 +385,7 @@ class Persistence:
                 encode_write(writer.buffer, key, value, EXP_KEEP)
             else:
                 encode_write(writer.buffer, key, value, EXP_NONE)
-            writer.note_records(1)
+            writer.records_appended += 1
             self.stats.aof_records += 1
 
     def log_delete(self, key: bytes) -> None:

@@ -1,0 +1,141 @@
+"""Drive an operation stream against a live server and measure it.
+
+Works with every client in the repo that speaks the pipelining
+contract — :class:`~repro.kvstore.client.KvClient` (in-process),
+:class:`~repro.kvstore.tcp.TcpKvClient` (one socket),
+:class:`~repro.kvstore.cluster.ClusterKvClient` (slot-routed) — because
+all three expose ``execute_pipeline(*commands)`` returning replies in
+command order with error replies in place.
+
+The driver never raises on an error *reply*: under soft-memory
+pressure OOM denials are the phenomenon being measured, not a test
+failure. Errors are classified by prefix (``OOM`` / ``MOVED`` /
+``CROSSSLOT`` / other) and tallied in the report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Protocol
+
+from repro.kvstore.resp import RespError
+from repro.loadgen.engine import Op
+
+__all__ = ["DriverReport", "PipelinedClient", "drive"]
+
+
+class PipelinedClient(Protocol):
+    def execute_pipeline(self, *commands: tuple) -> list[object]: ...
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+@dataclass
+class DriverReport:
+    """What one driven run did and how fast it went."""
+
+    ops: int = 0
+    batches: int = 0
+    elapsed: float = 0.0
+    errors: int = 0
+    oom_denials: int = 0
+    moved_errors: int = 0
+    crossslot_errors: int = 0
+    other_errors: int = 0
+    verbs: dict[str, int] = field(default_factory=dict)
+    batch_latencies: list[float] = field(default_factory=list)
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.ops / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def batch_p50_ms(self) -> float:
+        return 1000 * _percentile(self.batch_latencies, 0.50)
+
+    @property
+    def batch_p99_ms(self) -> float:
+        return 1000 * _percentile(self.batch_latencies, 0.99)
+
+    def note_reply(self, reply: object) -> None:
+        if not isinstance(reply, RespError):
+            return
+        self.errors += 1
+        message = reply.message
+        if message.startswith("OOM"):
+            self.oom_denials += 1
+        elif message.startswith("MOVED"):
+            self.moved_errors += 1
+        elif message.startswith("CROSSSLOT"):
+            self.crossslot_errors += 1
+        else:
+            self.other_errors += 1
+
+    def as_dict(self) -> dict:
+        return {
+            "ops": self.ops,
+            "batches": self.batches,
+            "elapsed_sec": round(self.elapsed, 6),
+            "ops_per_sec": round(self.ops_per_sec, 1),
+            "batch_p50_ms": round(self.batch_p50_ms, 4),
+            "batch_p99_ms": round(self.batch_p99_ms, 4),
+            "errors": self.errors,
+            "oom_denials": self.oom_denials,
+            "moved_errors": self.moved_errors,
+            "crossslot_errors": self.crossslot_errors,
+            "other_errors": self.other_errors,
+            "verbs": dict(sorted(self.verbs.items())),
+        }
+
+
+def drive(
+    client: PipelinedClient,
+    batches: Iterable[list[Op]] | Iterator[list[Op]],
+    *,
+    max_ops: int | None = None,
+    duration: float | None = None,
+    report: DriverReport | None = None,
+) -> DriverReport:
+    """Send batches until ``max_ops`` ops or ``duration`` seconds.
+
+    At least one of the bounds must be given (the engine's streams are
+    endless), and ``max_ops`` bounds *this call's* ops — accumulating
+    into a shared ``report`` (e.g. prefill + measured run in one tally)
+    does not eat a later call's budget.
+    Replies are counted, classified, and *verified in number*: a
+    reply-count mismatch means client/server desync and does raise.
+    """
+    if max_ops is None and duration is None:
+        raise ValueError("drive() needs max_ops and/or duration")
+    rep = report if report is not None else DriverReport()
+    ops_before = rep.ops
+    started = time.perf_counter()
+    deadline = started + duration if duration is not None else None
+    for batch in batches:
+        t0 = time.perf_counter()
+        replies = client.execute_pipeline(*batch)
+        t1 = time.perf_counter()
+        if len(replies) != len(batch):
+            raise RuntimeError(
+                f"desync: {len(batch)} commands, {len(replies)} replies"
+            )
+        rep.batches += 1
+        rep.ops += len(batch)
+        rep.batch_latencies.append(t1 - t0)
+        for op, reply in zip(batch, replies):
+            verb = op[0].decode().lower()
+            rep.verbs[verb] = rep.verbs.get(verb, 0) + 1
+            rep.note_reply(reply)
+        if max_ops is not None and rep.ops - ops_before >= max_ops:
+            break
+        if deadline is not None and t1 >= deadline:
+            break
+    rep.elapsed += time.perf_counter() - started
+    return rep

@@ -1,0 +1,235 @@
+"""Workload specifications and the named preset table.
+
+A :class:`WorkloadSpec` is a *complete, serializable* description of a
+workload: key space and distribution, value sizes, the operation mix,
+TTL churn, multi-key shapes, and the pipeline-depth mix. Spec + seed
+fully determine an operation stream (see
+:class:`~repro.loadgen.engine.OperationStream`), which is what makes
+traces replayable and benchmark cells reproducible.
+
+Presets follow the YCSB core workloads A–F, translated to RESP verbs:
+
+========  =============================================  ==============
+preset    mix                                            distribution
+========  =============================================  ==============
+ycsb-a    50% GET / 50% SET                              zipfian
+ycsb-b    95% GET / 5% SET                               zipfian
+ycsb-c    100% GET                                       zipfian
+ycsb-d    95% GET / 5% insert (new keys)                 latest
+ycsb-e    95% MGET run-scan / 5% insert                  zipfian start
+ycsb-f    50% GET / 50% read-modify-write (GET then SET) zipfian
+========  =============================================  ==============
+
+plus cache-shaped extras: ``hot-key`` (10% of keys take 90% of
+traffic), ``uniform`` (the old synthetic driver, kept as the control),
+``ttl-churn`` (expiring writes + explicit EXPIRE), and ``write-heavy``
+(90% lognormal-sized SETs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+
+from repro.loadgen.keys import (
+    HotKeyChooser,
+    KeyChooser,
+    LatestChooser,
+    ScrambledZipfianChooser,
+    UniformChooser,
+    ZipfianChooser,
+)
+from repro.loadgen.values import (
+    FixedSizer,
+    LognormalSizer,
+    UniformSizer,
+    ValueSizer,
+)
+
+__all__ = ["PRESETS", "WorkloadSpec", "preset"]
+
+#: operation verbs a mix may name (see OperationStream for semantics)
+VERBS = (
+    "get", "set", "del", "incr", "mget", "mset", "scan", "rmw",
+    "expire", "insert",
+)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything that defines a workload except the seed."""
+
+    name: str
+    #: distinct keys the stream addresses
+    keyspace: int = 8192
+    #: zipfian | scrambled-zipfian | uniform | hotkey | latest
+    key_dist: str = "zipfian"
+    zipf_theta: float = 0.99
+    hot_fraction: float = 0.1
+    hot_weight: float = 0.9
+    #: fixed | uniform | lognormal
+    value_dist: str = "fixed"
+    value_size: int = 128          # fixed size / lognormal median
+    value_lo: int = 16             # uniform low / lognormal clamp low
+    value_hi: int = 2048           # uniform high / lognormal clamp high
+    value_sigma: float = 1.0       # lognormal shape
+    #: (verb, weight) pairs; weights need not sum to 1
+    mix: tuple[tuple[str, float], ...] = (("get", 0.5), ("set", 0.5))
+    #: fraction of SET/MSET writes that carry an EX ttl
+    ttl_fraction: float = 0.0
+    ttl_lo: int = 1
+    ttl_hi: int = 60
+    #: keys per MGET/MSET/scan run
+    multi_keys: int = 4
+    #: group keys as ``{g<id>}:...`` so multi-key runs share a cluster
+    #: hash slot (False → sequential runs cross slots: CROSSSLOT food)
+    hash_tags: bool = False
+    #: (pipeline depth, weight) pairs — the per-batch depth mix
+    depths: tuple[tuple[int, float], ...] = ((16, 1.0),)
+    key_prefix: str = "user"
+
+    def __post_init__(self) -> None:
+        if self.keyspace < 1:
+            raise ValueError(f"keyspace must be >= 1, got {self.keyspace}")
+        if not self.mix:
+            raise ValueError("mix must name at least one verb")
+        for verb, weight in self.mix:
+            if verb not in VERBS:
+                raise ValueError(f"unknown verb {verb!r} (know {VERBS})")
+            if weight < 0:
+                raise ValueError(f"negative weight for {verb!r}")
+        if sum(weight for _, weight in self.mix) <= 0:
+            raise ValueError("mix weights sum to zero")
+        if not self.depths:
+            raise ValueError("depths must name at least one depth")
+        for depth, weight in self.depths:
+            if depth < 1:
+                raise ValueError(f"pipeline depth must be >= 1: {depth}")
+            if weight < 0:
+                raise ValueError(f"negative weight for depth {depth}")
+        if not 0.0 <= self.ttl_fraction <= 1.0:
+            raise ValueError(f"ttl_fraction out of [0,1]: {self.ttl_fraction}")
+        if not 1 <= self.ttl_lo <= self.ttl_hi:
+            raise ValueError(
+                f"need 1 <= ttl_lo <= ttl_hi, got [{self.ttl_lo}, "
+                f"{self.ttl_hi}]"
+            )
+        if self.multi_keys < 1:
+            raise ValueError(f"multi_keys must be >= 1: {self.multi_keys}")
+
+    # -- factories ------------------------------------------------------
+
+    def make_key_chooser(self) -> KeyChooser:
+        if self.key_dist == "zipfian":
+            return ZipfianChooser(self.keyspace, self.zipf_theta)
+        if self.key_dist == "scrambled-zipfian":
+            return ScrambledZipfianChooser(self.keyspace, self.zipf_theta)
+        if self.key_dist == "uniform":
+            return UniformChooser(self.keyspace)
+        if self.key_dist == "hotkey":
+            return HotKeyChooser(
+                self.keyspace, self.hot_fraction, self.hot_weight
+            )
+        if self.key_dist == "latest":
+            return LatestChooser(self.keyspace, self.zipf_theta)
+        raise ValueError(f"unknown key distribution {self.key_dist!r}")
+
+    def make_value_sizer(self) -> ValueSizer:
+        if self.value_dist == "fixed":
+            return FixedSizer(self.value_size)
+        if self.value_dist == "uniform":
+            return UniformSizer(self.value_lo, self.value_hi)
+        if self.value_dist == "lognormal":
+            return LognormalSizer(
+                self.value_size, self.value_sigma,
+                self.value_lo, self.value_hi,
+            )
+        raise ValueError(f"unknown value distribution {self.value_dist!r}")
+
+    # -- serialization (trace headers, bench JSON) ----------------------
+
+    def to_dict(self) -> dict:
+        doc = asdict(self)
+        doc["mix"] = [list(pair) for pair in self.mix]
+        doc["depths"] = [list(pair) for pair in self.depths]
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "WorkloadSpec":
+        doc = dict(doc)
+        doc["mix"] = tuple(
+            (verb, float(weight)) for verb, weight in doc["mix"]
+        )
+        doc["depths"] = tuple(
+            (int(depth), float(weight)) for depth, weight in doc["depths"]
+        )
+        return cls(**doc)
+
+
+PRESETS: dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in (
+        WorkloadSpec(
+            name="ycsb-a",
+            mix=(("get", 0.5), ("set", 0.5)),
+        ),
+        WorkloadSpec(
+            name="ycsb-b",
+            mix=(("get", 0.95), ("set", 0.05)),
+        ),
+        WorkloadSpec(
+            name="ycsb-c",
+            mix=(("get", 1.0),),
+        ),
+        WorkloadSpec(
+            name="ycsb-d",
+            key_dist="latest",
+            mix=(("get", 0.95), ("insert", 0.05)),
+        ),
+        WorkloadSpec(
+            name="ycsb-e",
+            mix=(("scan", 0.95), ("insert", 0.05)),
+            multi_keys=8,
+            hash_tags=True,
+        ),
+        WorkloadSpec(
+            name="ycsb-f",
+            mix=(("get", 0.5), ("rmw", 0.5)),
+        ),
+        WorkloadSpec(
+            name="hot-key",
+            key_dist="hotkey",
+            mix=(("get", 0.9), ("set", 0.1)),
+        ),
+        WorkloadSpec(
+            name="uniform",
+            key_dist="uniform",
+            mix=(("get", 0.5), ("set", 0.5)),
+        ),
+        WorkloadSpec(
+            name="ttl-churn",
+            mix=(("get", 0.2), ("set", 0.6), ("expire", 0.2)),
+            ttl_fraction=0.8,
+            ttl_lo=1,
+            ttl_hi=30,
+            depths=((1, 0.2), (8, 0.3), (16, 0.5)),
+        ),
+        WorkloadSpec(
+            name="write-heavy",
+            mix=(("get", 0.1), ("set", 0.9)),
+            value_dist="lognormal",
+            value_size=256,
+            value_lo=16,
+            value_hi=8192,
+        ),
+    )
+}
+
+
+def preset(name: str, **overrides: object) -> WorkloadSpec:
+    """A named preset, optionally with field overrides applied."""
+    try:
+        spec = PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise ValueError(f"unknown preset {name!r} (know: {known})") from None
+    return replace(spec, **overrides) if overrides else spec

@@ -1,0 +1,97 @@
+"""Value-size distributions and deterministic payload synthesis.
+
+Real caches do not store 100-byte values uniformly: CDN objects are
+lognormal, session blobs cluster at a fixed size, counters are tiny.
+A sizer turns the stream's RNG into a byte count; ``payload`` turns
+(size, rng) into the actual bytes — a single random byte repeated, so
+values are cheap to build, compress realistically badly, and are a
+pure function of the stream state (byte-identical replay).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+__all__ = [
+    "FixedSizer",
+    "LognormalSizer",
+    "UniformSizer",
+    "ValueSizer",
+    "payload",
+]
+
+
+class ValueSizer:
+    """One value size (bytes) per :meth:`size` call.
+
+    ``lo``/``hi`` are the declared bounds every sample must respect —
+    the property tests assert them, and the engine reports them in the
+    trace header so a replayer can pre-size buffers.
+    """
+
+    lo: int
+    hi: int
+
+    def size(self, rng: random.Random) -> int:
+        raise NotImplementedError
+
+
+class FixedSizer(ValueSizer):
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"value size must be >= 1, got {size}")
+        self.lo = self.hi = size
+
+    def size(self, rng: random.Random) -> int:
+        return self.lo
+
+
+class UniformSizer(ValueSizer):
+    def __init__(self, lo: int, hi: int) -> None:
+        if not 1 <= lo <= hi:
+            raise ValueError(f"need 1 <= lo <= hi, got [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+
+    def size(self, rng: random.Random) -> int:
+        return rng.randint(self.lo, self.hi)
+
+
+class LognormalSizer(ValueSizer):
+    """Lognormal around ``median`` with shape ``sigma``, clamped.
+
+    The clamp bounds are part of the distribution's contract (and the
+    trace header), not a hidden safety net: tails past ``hi`` all land
+    exactly on ``hi``.
+    """
+
+    def __init__(
+        self, median: int, sigma: float = 1.0, lo: int = 1,
+        hi: int | None = None,
+    ) -> None:
+        if median < 1:
+            raise ValueError(f"median must be >= 1, got {median}")
+        if sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {sigma}")
+        self.median = median
+        self.sigma = sigma
+        self.lo = max(1, lo)
+        self.hi = hi if hi is not None else median * 64
+        if self.lo > self.hi:
+            raise ValueError(f"empty clamp range [{self.lo}, {self.hi}]")
+        self._mu = math.log(median)
+
+    def size(self, rng: random.Random) -> int:
+        sample = int(round(rng.lognormvariate(self._mu, self.sigma)))
+        return min(self.hi, max(self.lo, sample))
+
+
+def payload(size: int, rng: random.Random) -> bytes:
+    """``size`` bytes, content drawn from the stream RNG.
+
+    One random byte repeated: O(1) RNG cost per value, deterministic,
+    and visibly distinct between writes of the same key often enough
+    for debugging.
+    """
+    return bytes([rng.randrange(256)]) * size
