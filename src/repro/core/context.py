@@ -59,6 +59,10 @@ class SdsContext:
         self.allocations_reclaimed = 0
         #: reclamation callbacks that raised (contained, not propagated)
         self.callback_errors = 0
+        #: live bytes sitting in the compressed second-chance tier,
+        #: maintained by the owning SDS on demote/promote/drop — the
+        #: daemon's compressed-aware weighting reads it through the SMA
+        self.compressed_bytes = 0
 
     @property
     def reclaimable_pages(self) -> int:

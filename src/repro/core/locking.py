@@ -67,6 +67,12 @@ class LockedSoftMemoryAllocator(SoftMemoryAllocator):
         with self._lock:
             super().soft_free(ptr)
 
+    def soft_demote(
+        self, ptr: SoftPtr, new_size: int, payload: Any = None
+    ) -> SoftPtr | None:
+        with self._lock:
+            return super().soft_demote(ptr, new_size, payload)
+
     def reclaim(self, demand_pages: int) -> ReclamationStats:
         with self._lock:
             return super().reclaim(demand_pages)

@@ -27,6 +27,11 @@ class ReclamationStats:
     pages_from_pool: int = 0
     pages_from_sds: int = 0
     allocations_freed: int = 0
+    #: victims demoted into the compressed second-chance tier instead
+    #: of dropped — their extents shrank in place, no callback fired
+    allocations_demoted: int = 0
+    #: bytes the demotions returned to the heap (original − compressed)
+    bytes_demoted: int = 0
     callbacks_invoked: int = 0
     #: callbacks that raised; reclamation proceeds regardless (a buggy
     #: victim callback must not break the requesting process)

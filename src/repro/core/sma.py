@@ -84,6 +84,7 @@ class SmaStats:
         "pages_rebacked",
         "reclamations",
         "degraded_denials",
+        "demotions",
     )
 
     def __init__(self) -> None:
@@ -98,6 +99,8 @@ class SmaStats:
         self.reclamations = 0
         #: budget asks refused locally while the daemon was unreachable
         self.degraded_denials = 0
+        #: allocations shrunk in place into the compressed tier
+        self.demotions = 0
 
 
 class SoftMemoryAllocator:
@@ -263,6 +266,52 @@ class SoftMemoryAllocator:
         # Periodic transfer of idle pages back to the global free pool.
         if heap.should_release_slack():
             self.pool.put(heap.harvest_free_pages())
+
+    def soft_demote(
+        self, ptr: SoftPtr, new_size: int, payload: Any = None
+    ) -> SoftPtr | None:
+        """Shrink a live allocation in place (second-chance demotion).
+
+        The old extent is freed and ``new_size`` bytes are placed in the
+        *same* heap holding ``payload`` (the compressed entry). The swap
+        never provisions — no pool draw, no budget request, no daemon
+        round-trip — which makes it safe to call from inside a
+        reclamation handler: demotion can only *return* bytes to the
+        heap, so the surrounding wave harvests more whole pages, never
+        fewer.
+
+        Tries allocate-before-free first (so a placement failure loses
+        nothing), then free-before-allocate (the freed extent reopens
+        its page to first-fit). Returns the new pointer, or ``None`` if
+        placement failed even then — in that case the old allocation is
+        already gone and the caller must treat the victim as dropped.
+        """
+        alloc = ptr.allocation
+        if not alloc.valid:
+            raise ProtocolError("demoting a dead allocation")
+        if new_size >= alloc.size:
+            raise ValueError(
+                f"demotion must shrink: {new_size} >= {alloc.size}"
+            )
+        context = alloc.context
+        heap = context.heap
+        saved = alloc.size - new_size
+        self.groups.forget(alloc)
+        new_alloc = heap.allocate(new_size, context, payload)
+        if new_alloc is None:
+            heap.free(alloc)
+            self.refs.notify_reclaimed(alloc)
+            new_alloc = heap.allocate(new_size, context, payload)
+        else:
+            heap.free(alloc)
+            self.refs.notify_reclaimed(alloc)
+        if new_alloc is None:
+            return None
+        self.stats.demotions += 1
+        if self._active_stats is not None:
+            self._active_stats.allocations_demoted += 1
+            self._active_stats.bytes_demoted += saved
+        return SoftPtr(new_alloc)
 
     def _provision(self, context: SdsContext, size: int) -> None:
         """Make the context's heap able to place ``size`` bytes."""
@@ -551,6 +600,21 @@ class SoftMemoryAllocator:
     def live_bytes(self) -> int:
         """Bytes inside live allocations (excludes page slack)."""
         return sum(c.heap.live_bytes for c in self._contexts)
+
+    @property
+    def compressed_bytes(self) -> int:
+        """Live bytes held in compressed second-chance tiers."""
+        return sum(c.compressed_bytes for c in self._contexts)
+
+    @property
+    def compressed_pages(self) -> int:
+        """Whole-page equivalent of the compressed tiers (rounded up).
+
+        The daemon's compressed-aware weighting prefers targets whose
+        soft footprint is already compressed — those pages surrender
+        bytes with the least disturbance.
+        """
+        return bytes_to_pages(self.compressed_bytes)
 
     @property
     def live_allocations(self) -> int:

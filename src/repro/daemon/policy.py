@@ -48,7 +48,11 @@ class SelectionConfig:
 
 
 def weight_of(record: ProcessRecord, weight_fn: WeightFn) -> float:
-    return weight_fn(record.traditional_pages, record.soft_pages)
+    return weight_fn(
+        record.traditional_pages,
+        record.soft_pages,
+        getattr(record, "compressed_pages", 0),
+    )
 
 
 def order_targets(
@@ -58,10 +62,13 @@ def order_targets(
 ) -> list[ProcessRecord]:
     """Visit order for reclamation targets.
 
-    Ranked by descending weight, then stably re-ordered so that targets
-    flexible enough to cover their likely share come first; ties break on
-    pid for determinism. Only processes that could contribute at all are
-    listed.
+    Ranked by descending weight, then stably re-ordered into three
+    disturbance bands: targets flexible enough to surrender pages
+    without touching any data structure come first, then targets whose
+    soft holdings include second-chance compressed pages (reclaiming
+    there drops already-demoted cold data rather than live entries),
+    then the rigid rest.  Ties break on pid for determinism.  Only
+    processes that could contribute at all are listed.
     """
     ranked = sorted(
         (r for r in candidates if r.reclaimable_pages > 0),
@@ -69,8 +76,15 @@ def order_targets(
     )
     flexible = [r for r in ranked if r.flexibility > 0]
     flexible_pids = {r.pid for r in flexible}
-    rigid = [r for r in ranked if r.pid not in flexible_pids]
-    return flexible + rigid
+    compressed = [
+        r
+        for r in ranked
+        if r.pid not in flexible_pids
+        and getattr(r, "compressed_pages", 0) > 0
+    ]
+    soft_pids = flexible_pids | {r.pid for r in compressed}
+    rigid = [r for r in ranked if r.pid not in soft_pids]
+    return flexible + compressed + rigid
 
 
 def proportional_demands(

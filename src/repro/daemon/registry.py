@@ -50,6 +50,16 @@ class ProcessRecord:
         return self.sma.budget.held
 
     @property
+    def compressed_pages(self) -> int:
+        """Pages worth of already-compressed (second-chance) bytes.
+
+        Read through the SMA (``getattr`` keeps older stand-ins and RPC
+        proxies working); feeds the compressed-aware weight policy —
+        reclaiming here drops data that already paid for compression.
+        """
+        return getattr(self.sma, "compressed_pages", 0)
+
+    @property
     def flexibility(self) -> int:
         """Pages surrenderable without disturbing any data structure."""
         return self.sma.flexibility()

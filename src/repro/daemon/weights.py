@@ -17,11 +17,14 @@ from __future__ import annotations
 
 from typing import Callable
 
-#: (traditional_pages, soft_pages) -> weight; higher = reclaimed sooner
-WeightFn = Callable[[int, int], float]
+#: (traditional_pages, soft_pages, compressed_pages=0) -> weight;
+#: higher = reclaimed sooner.  The third argument counts pages already
+#: sitting in a compressed second-chance tier (a subset of ``soft``);
+#: policies that ignore it simply accept and drop it.
+WeightFn = Callable[..., float]
 
 
-def paper_weight(traditional: int, soft: int) -> float:
+def paper_weight(traditional: int, soft: int, compressed: int = 0) -> float:
     """The paper's criteria (i) + (ii).
 
     ``T + S * T / (T + S)``: total footprint raises the weight, and the
@@ -37,7 +40,9 @@ def paper_weight(traditional: int, soft: int) -> float:
     return traditional + soft * (traditional / total)
 
 
-def total_footprint_weight(traditional: int, soft: int) -> float:
+def total_footprint_weight(
+    traditional: int, soft: int, compressed: int = 0
+) -> float:
     """Naive criterion (i) only: weight = T + S.
 
     Treats soft-heavy and traditional-heavy processes identically — the
@@ -46,7 +51,7 @@ def total_footprint_weight(traditional: int, soft: int) -> float:
     return float(traditional + soft)
 
 
-def soft_only_weight(traditional: int, soft: int) -> float:
+def soft_only_weight(traditional: int, soft: int, compressed: int = 0) -> float:
     """Reclaim from whoever holds the most soft memory.
 
     Maximally effective per demand, maximally punishing for soft memory
@@ -55,9 +60,28 @@ def soft_only_weight(traditional: int, soft: int) -> float:
     return float(soft)
 
 
-def traditional_only_weight(traditional: int, soft: int) -> float:
+def traditional_only_weight(
+    traditional: int, soft: int, compressed: int = 0
+) -> float:
     """Weight by traditional footprint alone (ignores soft holdings)."""
     return float(traditional)
+
+
+def compressed_aware_weight(
+    traditional: int, soft: int, compressed: int = 0
+) -> float:
+    """Paper weight, raised for already-compressed cold holdings.
+
+    A process whose soft footprint is largely second-chance compressed
+    data has, by definition, cold pages that were already demoted once —
+    reclaiming them drops data the owner has not touched since the last
+    pressure wave, the cheapest disturbance available.  The compressed
+    share is re-added at full (uncompressed-equivalent) effect on top of
+    the paper weight, so between two processes with identical ``T`` and
+    ``S`` the one holding more compressed pages is visited first, while
+    criterion (ii)'s protection of soft-heavy *hot* data is preserved.
+    """
+    return paper_weight(traditional, soft) + float(compressed)
 
 
 WEIGHT_POLICIES: dict[str, WeightFn] = {
@@ -65,4 +89,5 @@ WEIGHT_POLICIES: dict[str, WeightFn] = {
     "footprint": total_footprint_weight,
     "soft-only": soft_only_weight,
     "traditional-only": traditional_only_weight,
+    "compressed-aware": compressed_aware_weight,
 }

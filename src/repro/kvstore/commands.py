@@ -281,7 +281,7 @@ def _info_sections(store: DataStore) -> list[tuple[str, list[str]]]:
     keyspace = [f"{k}:{v}" for k, v in store.info().items()]
     keyspace.append(f"oom_denials:{store.stats.oom_denials}")
 
-    soft_prefixes = ("sma.", "smd.", "rpc.")
+    soft_prefixes = ("sma.", "smd.", "rpc.", "tier.")
     soft = [
         f"{name}:{_fmt_metric(value)}"
         for name, value in sorted(snapshot.items())
@@ -514,6 +514,26 @@ def cmd_memory(store: DataStore, args: list[bytes]) -> Any:
             flat.append(key.encode())
             flat.append(value if isinstance(value, int) else str(value).encode())
         return flat
+    if sub == b"PURGE":
+        # voluntarily shed N pages worth of keyspace bytes through the
+        # eviction policy (Listing 1's reclaim(sz); demote-before-drop
+        # when the tier is on). Budget ledgers are untouched — only the
+        # daemon revokes grants — so this is safe under a live SMD.
+        # Crash harnesses and benchmarks use it to apply pressure
+        # deterministically without a second process.
+        if len(args) > 2:
+            return _wrong_args("memory purge")
+        pages = 1
+        if len(args) == 2:
+            try:
+                pages = int(args[1])
+            except ValueError:
+                return RespError("ERR value is not an integer")
+            if pages < 1:
+                return RespError("ERR pages must be positive")
+        from repro.util.units import PAGE_SIZE
+
+        return store.keyspace.reclaim(pages * PAGE_SIZE)
     return RespError(f"ERR unknown MEMORY subcommand {sub.decode()!r}")
 
 

@@ -12,15 +12,33 @@ traditional memory, deallocated via the reclamation callback.
 allocations whose payload is a traditional-memory ``(key, value)``
 record; reclamation drops the oldest entries first and the application
 callback cleans up the traditional side.
+
+With a :class:`~repro.kvstore.tier.TierConfig` enabled, eviction grows
+a middle state: the oldest resident entry *demotes* — its value is
+zlib-compressed and the soft allocation shrunk in place via
+``SoftMemoryAllocator.soft_demote`` — instead of dropping. Only a
+later pressure wave (or the tier watermark) truly drops compressed
+entries, firing the usual reclamation callback; a read in between
+*promotes* the entry back to residency, budget-gated like recovery
+re-admission.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+import time
+from typing import Any, Callable, Iterator
 
 from repro.core.context import ReclaimCallback
+from repro.core.errors import SoftMemoryDegraded, SoftMemoryDenied
 from repro.core.pointer import SoftPtr
 from repro.core.sma import SoftMemoryAllocator
+from repro.kvstore.tier import (
+    TierConfig,
+    TierStats,
+    deflate_value,
+    inflate_value,
+)
+from repro.kvstore.values import CompressedValue
 from repro.sds.base import SoftDataStructure
 
 #: Redis's DICT_HT_INITIAL_SIZE
@@ -59,6 +77,7 @@ class SoftDict(SoftDataStructure):
         priority: int = 0,
         callback: ReclaimCallback | None = None,
         entry_size: int = 80,
+        tier: TierConfig | None = None,
     ) -> None:
         super().__init__(sma, name, priority, callback)
         if entry_size <= 0:
@@ -70,6 +89,20 @@ class SoftDict(SoftDataStructure):
         #: alloc_id -> ptr in insertion (age) order, for oldest-first reclaim
         self._by_age: dict[int, SoftPtr] = {}
         self.rehashes_completed = 0
+        # -- compressed second-chance tier -----------------------------
+        self.tier = tier or TierConfig()
+        self.tier_stats = TierStats()
+        #: alloc_id -> ptr of demoted entries, oldest demotion first
+        self._compressed_age: dict[int, SoftPtr] = {}
+        #: owner hooks: ledger/durability reactions to tier transitions.
+        #: ``on_demoted(key, compressed)`` after a demotion lands,
+        #: ``on_promoted(key, value, compressed)`` after a promotion.
+        self.on_demoted: Callable[[bytes, CompressedValue], None] | None = None
+        self.on_promoted: (
+            Callable[[bytes, Any, CompressedValue], None] | None
+        ) = None
+        #: observability hook: promote-path latency in seconds
+        self.observe_promote: Callable[[float], None] | None = None
 
     # ------------------------------------------------------------------
     # hashing / rehashing machinery
@@ -175,11 +208,14 @@ class SoftDict(SoftDataStructure):
         if existing is not None:
             ptr, table, slot = existing
             __, old_value = ptr.deref()
-            if ptr.size == want:
+            if ptr.size == want and type(old_value) is not CompressedValue:
                 ptr.store((key, value))
                 del self._by_age[ptr.alloc_id]  # refresh age: now newest
                 self._by_age[ptr.alloc_id] = ptr
                 return ptr, old_value
+            # (a demoted entry is never overwritten in place — its soft
+            # size tracks the compressed bytes, not the incoming value;
+            # the free below records it as a tier displacement)
             self._remove_ptr(ptr, table, slot)
             self._free(ptr)
         self._maybe_start_rehash()
@@ -232,8 +268,7 @@ class SoftDict(SoftDataStructure):
             return False
         ptr, table, slot = found
         self._remove_ptr(ptr, table, slot)
-        del self._by_age[ptr.alloc_id]
-        self._free(ptr)
+        self._free(ptr)  # maintains both age indexes
         return True
 
     def __len__(self) -> int:
@@ -264,6 +299,7 @@ class SoftDict(SoftDataStructure):
         self._ht1 = None
         self._rehash_idx = 0
         self._by_age.clear()
+        self._compressed_age.clear()
 
     # ------------------------------------------------------------------
     # internals
@@ -301,10 +337,30 @@ class SoftDict(SoftDataStructure):
         table.used -= 1
 
     # ------------------------------------------------------------------
-    # reclaim contract: oldest entries first (the Redis integration)
+    # reclaim contract: demote-before-drop, oldest entries first
     # ------------------------------------------------------------------
 
     def evict_one(self) -> bool:
+        """Evict by the tier policy; the tier-off path is the paper's.
+
+        Order with the tier enabled: (1) if the compressed tier is over
+        its watermark, drop its oldest entry (a second-chance drop);
+        (2) demote the oldest resident entry — or drop it outright when
+        it does not compress; (3) with no resident victims left, a
+        further pressure wave drops the oldest compressed entry.
+        """
+        tier = self.tier
+        if tier.enabled:
+            compressed = len(self._compressed_age)
+            if compressed:
+                total = self._ht0.used + (self._ht1.used if self._ht1 else 0)
+                if compressed > tier.watermark_frac * total:
+                    if self._drop_oldest_compressed():
+                        return True
+            for alloc_id, ptr in self._by_age.items():
+                if not ptr.allocation.pinned:
+                    return self._demote_or_drop(alloc_id, ptr)
+            return self._drop_oldest_compressed()
         for alloc_id, ptr in self._by_age.items():
             if not ptr.allocation.pinned:
                 key, __ = ptr.deref()
@@ -314,11 +370,192 @@ class SoftDict(SoftDataStructure):
                 del self._by_age[alloc_id]
                 self._reclaim_ptr(ptr)
                 return True
+        # entries recovered in compressed form stay reclaimable even
+        # with the tier switched off (no-op unless such entries exist)
+        return self._drop_oldest_compressed()
+
+    def _demote_or_drop(self, alloc_id: int, ptr: SoftPtr) -> bool:
+        """Demote one resident victim, dropping it if compression fails."""
+        key, __ = ptr.deref()
+        if self.demote(key):
+            return True
+        if not ptr.allocation.valid:
+            # demote() lost the extent swap and already accounted the
+            # entry as dropped — nothing further to do
+            return True
+        # too small / incompressible: the victim drops like before
+        found = self._find(key)
+        assert found is not None and found[0] is ptr
+        self.tier_stats.incompressible += 1
+        self._remove_ptr(ptr, found[1], found[2])
+        del self._by_age[alloc_id]
+        self._reclaim_ptr(ptr)
+        return True
+
+    def demote(self, key: bytes) -> bool:
+        """Demote one entry into the compressed tier right now.
+
+        Used by the eviction policy and by recovery replay of demote
+        records. Returns ``True`` when the entry ends up (or already
+        was) compressed; ``False`` when it stays resident (absent,
+        pinned, too small, or incompressible). A failed extent swap —
+        vanishingly rare — loses the entry and accounts it exactly like
+        a reclamation drop.
+        """
+        found = self._find(key)
+        if found is None:
+            return False
+        ptr, table, slot = found
+        __, value = ptr.deref()
+        if type(value) is CompressedValue:
+            return True
+        if ptr.allocation.pinned:
+            return False
+        compressed = deflate_value(value, self.tier)
+        if compressed is None:
+            return False
+        new_size = ptr.size - compressed.original_bytes + len(compressed.data)
+        if not 0 < new_size < ptr.size:
+            return False
+        chain = table.buckets[slot]
+        assert chain is not None
+        index = chain.index(ptr)
+        new_ptr = self._sma.soft_demote(ptr, new_size, (key, compressed))
+        self._by_age.pop(ptr.alloc_id, None)
+        if new_ptr is None:
+            # placement failed even into the freed extent; the data is
+            # gone — account it exactly like a reclamation drop
+            self._remove_ptr(ptr, table, slot)
+            self.evictions += 1
+            callback = self._context.callback
+            if callback is not None:
+                try:
+                    callback((key, value))
+                except Exception:
+                    self._context.callback_errors += 1
+            return False
+        chain[index] = new_ptr
+        self._compressed_age[new_ptr.alloc_id] = new_ptr
+        self._context.compressed_bytes += len(compressed.data)
+        self.tier_stats.demotions += 1
+        self.tier_stats.bytes_saved += (
+            compressed.original_bytes - len(compressed.data)
+        )
+        if self.on_demoted is not None:
+            # the owner's ledger/durability hook must not abort the
+            # reclamation wave the demotion is servicing
+            try:
+                self.on_demoted(key, compressed)
+            except Exception:
+                self._context.callback_errors += 1
+        return True
+
+    def _drop_oldest_compressed(self) -> bool:
+        for alloc_id, ptr in self._compressed_age.items():
+            if ptr.allocation.pinned:
+                continue
+            key, compressed = ptr.deref()
+            found = self._find(key)
+            assert found is not None and found[0] is ptr
+            self._remove_ptr(ptr, found[1], found[2])
+            del self._compressed_age[alloc_id]
+            self._context.compressed_bytes -= len(compressed.data)
+            self.tier_stats.second_chance_drops += 1
+            self._reclaim_ptr(ptr)
+            return True
         return False
 
-    def _free(self, ptr: SoftPtr) -> None:
-        # Keep the age index consistent on every free path.
+    def promote(self, key: bytes) -> Any | None:
+        """Inflate a demoted entry back to residency; return its value.
+
+        Re-admission of the inflated size is budget-gated exactly like
+        recovery re-admission: on denial (or degraded daemon) the entry
+        stays compressed and the caller still gets the transiently
+        inflated value — the read is served either way, which is the
+        hit-rate recovery the tier exists for.
+
+        Returns ``None`` if the key is absent or not compressed.
+        """
+        found = self._find(key)
+        if found is None:
+            return None
+        ptr, table, slot = found
+        __, compressed = ptr.deref()
+        if type(compressed) is not CompressedValue:
+            return None
+        started = time.perf_counter()
+        value = inflate_value(compressed)
+        new_size = ptr.size + compressed.original_bytes - len(compressed.data)
+        alloc = ptr.allocation
+        alloc.pins += 1  # re-admission may reclaim against this dict
+        try:
+            new_ptr = self._alloc(new_size, (key, value))
+        except (SoftMemoryDenied, SoftMemoryDegraded):
+            self.tier_stats.promotion_denials += 1
+            if self.observe_promote is not None:
+                self.observe_promote(time.perf_counter() - started)
+            return value  # transient inflation; entry stays compressed
+        finally:
+            alloc.pins -= 1
+        chain = table.buckets[slot]
+        assert chain is not None
+        chain[chain.index(ptr)] = new_ptr
+        del self._compressed_age[alloc.alloc_id]
+        self._by_age[new_ptr.alloc_id] = new_ptr
+        self._context.compressed_bytes -= len(compressed.data)
+        self.tier_stats.promotions += 1
+        self._free(ptr)
+        if self.on_promoted is not None:
+            self.on_promoted(key, value, compressed)
+        if self.observe_promote is not None:
+            self.observe_promote(time.perf_counter() - started)
+        return value
+
+    def register_compressed(self, key: bytes) -> bool:
+        """Adopt a just-inserted, already-compressed entry into the tier.
+
+        Recovery re-admits snapshot entries that were demoted when the
+        snapshot was taken; they arrive through :meth:`upsert` carrying
+        a :class:`CompressedValue` and must live in the compressed age
+        index (so pressure drops them and reads promote them). Counted
+        as a demotion — the entry entered the compressed tier — which
+        keeps the tier conservation identity exact after a restart.
+        """
+        found = self._find(key)
+        if found is None:
+            return False
+        ptr = found[0]
+        __, value = ptr.deref()
+        if type(value) is not CompressedValue:
+            return False
+        if ptr.alloc_id in self._compressed_age:
+            return True
         self._by_age.pop(ptr.alloc_id, None)
+        self._compressed_age[ptr.alloc_id] = ptr
+        self._context.compressed_bytes += len(value.data)
+        self.tier_stats.demotions += 1
+        self.tier_stats.bytes_saved += value.original_bytes - len(value.data)
+        return True
+
+    @property
+    def compressed_entries(self) -> int:
+        return len(self._compressed_age)
+
+    @property
+    def compressed_bytes(self) -> int:
+        return self._context.compressed_bytes
+
+    def _free(self, ptr: SoftPtr) -> None:
+        # Keep both age indexes consistent on every free path.
+        self._by_age.pop(ptr.alloc_id, None)
+        if self._compressed_age.pop(ptr.alloc_id, None) is not None:
+            # a client operation (DEL, overwrite, expiry, FLUSHALL)
+            # removed a compressed entry: the tier loses it without a
+            # drop or a promotion — a displacement, for the identity
+            # demotions == promotions + drops + displacements + held
+            __, compressed = ptr.deref()
+            self._context.compressed_bytes -= len(compressed.data)
+            self.tier_stats.displacements += 1
         super()._free(ptr)
 
     def __repr__(self) -> str:

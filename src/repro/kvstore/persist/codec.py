@@ -22,7 +22,13 @@ Record payloads start with a one-byte kind tag:
 * ``T`` — tombstone: the entry was reclaimed by the soft memory
   allocator. Distinct from ``D`` so recovery accounting (and the
   invariant "reclaimed soft data stays dropped") can tell them apart;
-  replay semantics are the same deletion.
+  replay semantics are the same deletion. Second-chance drops from the
+  compressed tier log the same ``T``.
+* ``M`` — demote: the entry was pushed into the compressed
+  second-chance tier. Replay re-compresses in place so recovery
+  re-admission is budget-gated at the *compressed* size. Promotion is
+  deliberately not logged — a recovered-compressed entry inflates on
+  first read, byte-identical to the promoted live value.
 * ``E`` — set expiry to an absolute unix-epoch-milliseconds deadline.
 * ``P`` — persist (clear the TTL).
 * ``F`` — flush the whole keyspace.
@@ -30,7 +36,9 @@ Record payloads start with a one-byte kind tag:
   snapshot file and never appears in an append-only log.
 
 Typed values reuse the store's three Redis types: ``S`` bytes, ``H``
-hash (``dict[bytes, bytes]``), ``L`` list (``deque[bytes]``).
+hash (``dict[bytes, bytes]``), ``L`` list (``deque[bytes]``) — plus
+``C``, the compressed second-chance envelope (original size, original
+kind tag, zlib bytes), so snapshots carry demoted entries natively.
 """
 
 from __future__ import annotations
@@ -38,7 +46,7 @@ from __future__ import annotations
 from collections import deque
 from zlib import crc32
 
-from repro.kvstore.values import Value
+from repro.kvstore.values import CompressedValue, Value
 from repro.kvstore.wire import FRAME_HEADER, U32, U64
 
 __all__ = [
@@ -48,6 +56,7 @@ __all__ = [
     "EXP_NONE",
     "decode_record",
     "encode_delete",
+    "encode_demote",
     "encode_expire",
     "encode_flush",
     "encode_persist",
@@ -158,6 +167,14 @@ def _value_parts(value: Value) -> tuple[bytes, ...]:
             parts.append(_U32.pack(len(item)))
             parts.append(item)
         return tuple(parts)
+    if type(value) is CompressedValue:
+        return (
+            b"C",
+            _U32.pack(value.original_bytes),
+            value.kind,
+            _U32.pack(len(value.data)),
+            value.data,
+        )
     if isinstance(value, bytes):  # bytes subclass: normalize
         raw = bytes(value)
         return (b"S", _U32.pack(len(raw)), raw)
@@ -200,6 +217,15 @@ def _decode_value(payload: bytes, offset: int) -> tuple[Value, int]:
             item, offset = _read_chunk(payload, offset)
             items.append(item)
         return items, offset
+    if tag == b"C":
+        original, offset = _read_u32(payload, offset)
+        if offset + 1 > len(payload):
+            raise CorruptRecord("truncated compressed kind")
+        kind = payload[offset:offset + 1]
+        if kind not in (b"S", b"H", b"L"):
+            raise CorruptRecord(f"unknown compressed kind {kind!r}")
+        data, offset = _read_chunk(payload, offset + 1)
+        return CompressedValue(data, original, kind), offset
     raise CorruptRecord(f"unknown value tag {tag!r}")
 
 
@@ -259,6 +285,11 @@ def encode_tombstone(out: bytearray, key: bytes) -> None:
     _encode_keyed(out, b"T", key)
 
 
+def encode_demote(out: bytearray, key: bytes) -> None:
+    """Append a framed M record (second-chance tier demotion)."""
+    _encode_keyed(out, b"M", key)
+
+
 def encode_persist(out: bytearray, key: bytes) -> None:
     """Append a framed P record (TTL cleared)."""
     _encode_keyed(out, b"P", key)
@@ -293,7 +324,7 @@ def decode_record(payload: bytes) -> tuple:
     Shapes (first element is the kind string):
 
     * ``("W", key, value, exp_kind, deadline_unix_ms)``
-    * ``("D", key)`` / ``("T", key)`` / ``("P", key)``
+    * ``("D", key)`` / ``("T", key)`` / ``("P", key)`` / ``("M", key)``
     * ``("E", key, deadline_unix_ms)``
     * ``("F",)``
     * ``("Z", count, saved_unix_ms)``
@@ -321,7 +352,7 @@ def decode_record(payload: bytes) -> tuple:
         if offset != len(payload):
             raise CorruptRecord("trailing bytes in W record")
         return ("W", key, value, exp_kind, deadline)
-    if kind in (b"D", b"T", b"P"):
+    if kind in (b"D", b"T", b"P", b"M"):
         key, offset = _read_chunk(payload, 1)
         if offset != len(payload):
             raise CorruptRecord("trailing bytes in keyed record")

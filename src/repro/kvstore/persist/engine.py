@@ -53,6 +53,7 @@ from repro.kvstore.persist.codec import (
     EXP_KEEP,
     EXP_NONE,
     encode_delete,
+    encode_demote,
     encode_expire,
     encode_flush,
     encode_persist,
@@ -64,7 +65,7 @@ from repro.kvstore.persist.snapshot import (
     read_snapshot,
     write_snapshot,
 )
-from repro.kvstore.values import Value
+from repro.kvstore.values import CompressedValue, Value
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.kvstore.store import DataStore
@@ -352,6 +353,8 @@ class Persistence:
             store._restore_expire(key, (deadline - now_ms) / 1000.0)
         elif kind == "P":
             store._restore_persist(record[1])
+        elif kind == "M":
+            store._restore_demote(record[1])
         elif kind == "F":
             store._restore_flush()
         # "Z" can only appear in snapshot files, which never reach here
@@ -396,6 +399,25 @@ class Persistence:
             return
         with self._io_lock:
             encode_delete(writer.buffer, key)
+            writer.note_records(1)
+            self.stats.aof_records += 1
+
+    def log_demote(self, key: bytes) -> None:
+        """Entry demoted into the compressed second-chance tier.
+
+        Replay re-runs the demotion (when the tier is enabled) so a
+        recovered store carries the same compressed footprint; the
+        entry's bytes were already logged by its ``W`` record.
+        Promotions are deliberately not logged — a recovered-compressed
+        entry inflates on first read exactly like a live one.
+        """
+        if not self._logging:
+            return
+        writer = self._writer
+        if writer is None:
+            return
+        with self._io_lock:
+            encode_demote(writer.buffer, key)
             writer.note_records(1)
             self.stats.aof_records += 1
 
@@ -532,7 +554,7 @@ class Persistence:
                 )
             if isinstance(value, dict):
                 value = dict(value)
-            elif not isinstance(value, bytes):
+            elif not isinstance(value, (bytes, CompressedValue)):
                 value = type(value)(value)
             entries.append((key, value, deadline_ms))
         return entries

@@ -27,13 +27,16 @@ from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 from repro.core.sma import SoftMemoryAllocator
 from repro.kvstore.dict import SoftDict
+from repro.kvstore.tier import TierConfig
 from repro.obs.plane import (
     KvObservability,
     bind_persistence,
     bind_sma,
     bind_store,
+    bind_tier,
 )
 from repro.kvstore.values import (
+    CompressedValue,
     Value,
     expect_type,
     type_name,
@@ -76,6 +79,9 @@ class StoreConfig:
     keyspace_priority: int = 0
     #: clock used for TTLs; swap in a SimClock's ``now`` for simulation
     time_fn: Callable[[], float] = field(default=time.monotonic)
+    #: compressed second-chance tier policy (disabled reproduces the
+    #: paper's plain keep/drop reclamation)
+    tier: TierConfig = field(default_factory=TierConfig)
 
 
 @dataclass
@@ -115,7 +121,10 @@ class DataStore:
             name=f"{name}-keyspace",
             priority=self.config.keyspace_priority,
             callback=self._on_entry_reclaimed,
+            tier=self.config.tier,
         )
+        self._dict.on_demoted = self._on_entry_demoted
+        self._dict.on_promoted = self._on_entry_promoted
         #: key -> absolute expiry deadline (traditional memory)
         self._expires: dict[bytes, float] = {}
         #: min-heap of (deadline, key) mirroring ``_expires``; entries go
@@ -136,6 +145,7 @@ class DataStore:
         self.obs = KvObservability(name=name)
         bind_store(self.obs.registry, self)
         bind_sma(self.obs.registry, sma)
+        self._dict.observe_promote = bind_tier(self.obs.registry, self._dict)
 
     # ------------------------------------------------------------------
     # soft memory integration
@@ -158,6 +168,31 @@ class DataStore:
         if self._persist is not None:
             # dropped soft data must stay dropped across a restart
             self._persist.log_tombstone(key)
+
+    def _on_entry_demoted(self, key: bytes, compressed: CompressedValue) -> None:
+        """Tier hook: an entry shrank to its compressed size.
+
+        The value side of the traditional ledger shrinks with it, and
+        the demotion is made durable so recovery re-admission is
+        budget-gated at the *compressed* size.
+        """
+        self.traditional_bytes -= compressed.original_bytes - len(
+            compressed.data
+        )
+        if self._persist is not None:
+            self._persist.log_demote(key)
+
+    def _on_entry_promoted(
+        self, key: bytes, value: Value, compressed: CompressedValue
+    ) -> None:
+        """Tier hook: an entry inflated back to residency.
+
+        Promotion is deliberately not logged — a recovered-compressed
+        entry inflates on its first read, byte-identical to this one.
+        """
+        self.traditional_bytes += compressed.original_bytes - len(
+            compressed.data
+        )
 
     @property
     def soft_bytes(self) -> int:
@@ -245,7 +280,13 @@ class DataStore:
     # ------------------------------------------------------------------
 
     def _read(self, key: bytes) -> Value | None:
-        """Lazy-expiring raw read with hit/miss accounting."""
+        """Lazy-expiring raw read with hit/miss accounting.
+
+        A read of a demoted entry promotes it back to residency (or
+        serves a transient inflation when the budget denies the
+        re-admission) — either way the read is a hit, which is the
+        hit-rate recovery the second-chance tier exists for.
+        """
         if self._expires and self._check_expired(key):
             self.stats.misses += 1
             return None
@@ -253,6 +294,8 @@ class DataStore:
         if value is None:
             self.stats.misses += 1
             return None
+        if type(value) is CompressedValue:
+            value = self._dict.promote(key)
         self.stats.hits += 1
         return value
 
@@ -260,7 +303,10 @@ class DataStore:
         """Lazy-expiring raw read without hit/miss accounting."""
         if self._check_expired(key):
             return None
-        return self._dict.get(key)
+        value = self._dict.get(key)
+        if type(value) is CompressedValue:
+            value = self._dict.promote(key)
+        return value
 
     def _write(
         self, key: bytes, value: Value, *, ex: float | None, keep_ttl: bool
@@ -723,12 +769,28 @@ class DataStore:
         """
         self._delete_raw(key)
         self._dict.upsert(key, value, size=self._entry_size(key, value))
+        if type(value) is CompressedValue:
+            # a snapshot carried this entry demoted: re-admission was
+            # budget-gated at the compressed size, and it must live in
+            # the compressed tier (drop under pressure, promote on read)
+            self._dict.register_compressed(key)
         self.traditional_bytes += len(key) + value_bytes(value)
         if ex is not None:
             self._set_expiry(key, self._now() + ex)
 
     def _restore_delete(self, key: bytes) -> None:
         self._delete_raw(key)
+
+    def _restore_demote(self, key: bytes) -> None:
+        """Replay a demote record: re-compress the entry in place.
+
+        Demotion only returns bytes to the heap, so replay never needs
+        budget. With the tier disabled on this boot the record is
+        skipped — the entry simply stays resident, which recovery's
+        budget gate already allowed.
+        """
+        if self._dict.tier.enabled:
+            self._dict.demote(key)
 
     def _restore_expire(self, key: bytes, seconds: float) -> None:
         if key in self._dict:
@@ -772,6 +834,8 @@ class DataStore:
             "reclaimed_keys": self.stats.reclaimed_keys,
             "keyspace_rehashing": self._dict.is_rehashing,
             "evictions": self._dict.evictions,
+            "compressed_entries": self._dict.compressed_entries,
+            "compressed_bytes": self._dict.compressed_bytes,
         }
 
     @staticmethod

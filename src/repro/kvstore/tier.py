@@ -1,0 +1,137 @@
+"""The compressed second-chance tier: demote-before-drop machinery.
+
+The paper's reclamation protocol is binary — a victim entry is either
+resident or gone. This module adds the state in between: *demotion*
+zlib-compresses the value bytes and re-admits the entry at compressed
+size, so the reclamation wave still frees real budget (the extent
+shrinks) while the data stays recoverable. Only a later pressure wave,
+or the compressed-tier watermark, truly drops it; a read in between
+*promotes* (inflates) it back to residency.
+
+Wire format: the plaintext fed to zlib is the persistence codec's typed
+value serialization (tag + chunks), so deflate/inflate round-trips all
+three client-visible types with one shared codec and a demoted entry
+can be written to snapshots/AOF without re-inflating.
+
+Policy knobs live in :class:`TierConfig`; counters in
+:class:`TierStats`. Both are dependency-free so `core` and `daemon`
+layers can reason about the tier without importing the kvstore.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.kvstore.values import CompressedValue, Value
+
+__all__ = [
+    "TierConfig",
+    "TierStats",
+    "deflate_value",
+    "inflate_value",
+]
+
+
+@dataclass(frozen=True)
+class TierConfig:
+    """Second-chance tier policy.
+
+    ``enabled`` gates the whole mechanism (off reproduces the paper's
+    plain keep/drop). ``min_value_bytes`` skips values too small to be
+    worth a deflate call; ``min_ratio`` requires the compressed bytes to
+    be at most that fraction of the original, else the entry is judged
+    incompressible and dropped outright when victimized.
+    ``watermark_frac`` bounds the tier: when more than that fraction of
+    a dict's entries are already compressed, further evictions drop the
+    oldest compressed entry (a second-chance drop) instead of demoting
+    yet another resident.
+    """
+
+    enabled: bool = False
+    min_value_bytes: int = 64
+    min_ratio: float = 0.75
+    watermark_frac: float = 0.5
+    compress_level: int = 1
+
+    def __post_init__(self) -> None:
+        if self.min_value_bytes < 0:
+            raise ValueError(
+                f"min_value_bytes must be non-negative: {self.min_value_bytes}"
+            )
+        if not 0.0 < self.min_ratio <= 1.0:
+            raise ValueError(f"min_ratio must be in (0, 1]: {self.min_ratio}")
+        if not 0.0 < self.watermark_frac <= 1.0:
+            raise ValueError(
+                f"watermark_frac must be in (0, 1]: {self.watermark_frac}"
+            )
+        if not 0 <= self.compress_level <= 9:
+            raise ValueError(
+                f"compress_level must be 0..9: {self.compress_level}"
+            )
+
+
+@dataclass
+class TierStats:
+    """Lifecycle counters for one dict's second-chance tier.
+
+    The conservation identity the obs soak asserts per phase::
+
+        demotions == promotions + second_chance_drops
+                     + displacements + still-compressed entries
+
+    ``displacements`` covers compressed entries removed by the *client*
+    (DEL, overwrite, expiry, FLUSHALL) rather than by pressure.
+    """
+
+    demotions: int = 0
+    promotions: int = 0
+    second_chance_drops: int = 0
+    displacements: int = 0
+    #: deflate declined (too small / incompressible) — victim dropped
+    incompressible: int = 0
+    #: promote re-admission denied by the soft budget; the read is still
+    #: served from a transient inflation, the entry stays compressed
+    promotion_denials: int = 0
+    bytes_saved: int = 0  # original − compressed, summed over demotions
+
+
+def _serialize(value: Value) -> tuple[bytes, bytes]:
+    """Flatten a typed value to ``(codec kind tag, plaintext bytes)``."""
+    # imported lazily to keep tier importable without the persist plane
+    from repro.kvstore.persist.codec import _value_parts
+
+    parts = _value_parts(value)
+    return parts[0], b"".join(parts)
+
+
+def deflate_value(value: Value, config: TierConfig) -> CompressedValue | None:
+    """Compress ``value`` for demotion, or ``None`` if not worth it.
+
+    ``None`` means the caller should fall back to dropping the victim:
+    the value is below ``min_value_bytes``, compresses worse than
+    ``min_ratio``, or is already compressed.
+    """
+    from repro.kvstore.values import value_bytes
+
+    if type(value) is CompressedValue:
+        return None
+    original = value_bytes(value)
+    if original < config.min_value_bytes:
+        return None
+    kind, plain = _serialize(value)
+    data = zlib.compress(plain, config.compress_level)
+    if len(data) > original * config.min_ratio:
+        return None
+    return CompressedValue(data, original, kind)
+
+
+def inflate_value(compressed: CompressedValue) -> Value:
+    """Decompress a demoted value back to its resident form."""
+    from repro.kvstore.persist.codec import _decode_value
+
+    plain = zlib.decompress(compressed.data)
+    value, offset = _decode_value(plain, 0)
+    if offset != len(plain):
+        raise ValueError("trailing bytes in compressed value")
+    return value

@@ -5,6 +5,13 @@ exercise: strings (``bytes``), hashes (``dict[bytes, bytes]``), and
 lists (``deque[bytes]``). Helpers here give each value a type name (for
 ``TYPE`` / WRONGTYPE errors) and a byte size (for soft and traditional
 memory accounting).
+
+A fourth, internal state joins them for the second-chance tier:
+:class:`CompressedValue`, a zlib-deflated envelope around one of the
+three client-visible types. It is never handed to a client — reads
+promote (inflate) before returning — but it flows through the same
+accounting helpers, so every ledger that sums ``value_bytes`` charges a
+demoted entry at its *compressed* size automatically.
 """
 
 from __future__ import annotations
@@ -12,7 +19,35 @@ from __future__ import annotations
 from collections import deque
 from typing import Union
 
-Value = Union[bytes, dict, deque]
+
+class CompressedValue:
+    """A demoted value: zlib bytes plus what it was before demotion.
+
+    ``data`` is the compressed serialization (see ``repro.kvstore.tier``
+    for the wire format), ``original_bytes`` the ``value_bytes`` of the
+    resident value it replaced, and ``kind`` the persistence codec tag
+    (``b"S"`` / ``b"H"`` / ``b"L"``) so ``TYPE`` can answer without
+    inflating.
+    """
+
+    __slots__ = ("data", "original_bytes", "kind")
+
+    def __init__(self, data: bytes, original_bytes: int, kind: bytes) -> None:
+        self.data = data
+        self.original_bytes = original_bytes
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return (
+            f"CompressedValue(kind={self.kind!r}, "
+            f"compressed={len(self.data)}, original={self.original_bytes})"
+        )
+
+
+#: TYPE names by codec tag, for demoted entries
+_KIND_NAMES = {b"S": b"string", b"H": b"hash", b"L": b"list"}
+
+Value = Union[bytes, dict, deque, CompressedValue]
 
 
 class WrongTypeError(Exception):
@@ -34,17 +69,26 @@ def type_name(value: Value) -> bytes:
         return b"hash"
     if isinstance(value, deque):
         return b"list"
+    if isinstance(value, CompressedValue):
+        return _KIND_NAMES[value.kind]
     raise TypeError(f"unsupported value type {type(value).__name__}")
 
 
 def value_bytes(value: Value) -> int:
-    """Payload bytes of a value (for memory accounting)."""
+    """Payload bytes of a value (for memory accounting).
+
+    A demoted value is charged at its compressed size — that is the
+    whole point of the second-chance tier: demotion itself shrinks
+    every ledger this helper feeds.
+    """
     if isinstance(value, bytes):
         return len(value)
     if isinstance(value, dict):
         return sum(len(f) + len(v) for f, v in value.items())
     if isinstance(value, deque):
         return sum(len(item) for item in value)
+    if isinstance(value, CompressedValue):
+        return len(value.data)
     raise TypeError(f"unsupported value type {type(value).__name__}")
 
 

@@ -45,6 +45,7 @@ from typing import Iterator
 
 from repro.loadgen.keys import LatestChooser
 from repro.loadgen.spec import WorkloadSpec
+from repro.loadgen.values import payload
 
 __all__ = ["Op", "OperationStream", "stream_digest"]
 
@@ -102,7 +103,7 @@ class OperationStream:
 
     def _value(self) -> bytes:
         size = self._sizer.size(self.rng)
-        return bytes([self.rng.randrange(256)]) * size
+        return payload(size, self.rng, self.spec.compressibility)
 
     def _maybe_ttl(self) -> tuple[bytes, ...]:
         spec = self.spec

@@ -72,6 +72,10 @@ class WorkloadSpec:
     value_lo: int = 16             # uniform low / lognormal clamp low
     value_hi: int = 2048           # uniform high / lognormal clamp high
     value_sigma: float = 1.0       # lognormal shape
+    #: fraction of each value that is a repeated (compressible) fill
+    #: byte; 1.0 = the historical single-byte payload, 0.0 = pure RNG
+    #: bytes (incompressible) — the tier benchmark's sweep axis
+    compressibility: float = 1.0
     #: (verb, weight) pairs; weights need not sum to 1
     mix: tuple[tuple[str, float], ...] = (("get", 0.5), ("set", 0.5))
     #: fraction of SET/MSET writes that carry an EX ttl
@@ -115,6 +119,10 @@ class WorkloadSpec:
             )
         if self.multi_keys < 1:
             raise ValueError(f"multi_keys must be >= 1: {self.multi_keys}")
+        if not 0.0 <= self.compressibility <= 1.0:
+            raise ValueError(
+                f"compressibility out of [0,1]: {self.compressibility}"
+            )
 
     # -- factories ------------------------------------------------------
 
@@ -151,6 +159,10 @@ class WorkloadSpec:
         doc = asdict(self)
         doc["mix"] = [list(pair) for pair in self.mix]
         doc["depths"] = [list(pair) for pair in self.depths]
+        if self.compressibility == 1.0:
+            # the stream RNG is seeded from this dict: omitting the
+            # default keeps every pre-knob trace digest byte-identical
+            del doc["compressibility"]
         return doc
 
     @classmethod

@@ -87,11 +87,27 @@ class LognormalSizer(ValueSizer):
         return min(self.hi, max(self.lo, sample))
 
 
-def payload(size: int, rng: random.Random) -> bytes:
+def payload(
+    size: int, rng: random.Random, compressibility: float = 1.0
+) -> bytes:
     """``size`` bytes, content drawn from the stream RNG.
 
-    One random byte repeated: O(1) RNG cost per value, deterministic,
-    and visibly distinct between writes of the same key often enough
-    for debugging.
+    At the default ``compressibility=1.0`` the value is one random byte
+    repeated: O(1) RNG cost, deterministic, and visibly distinct
+    between writes of the same key often enough for debugging.  Lower
+    settings replace a ``1 - compressibility`` prefix with RNG bytes
+    (``0.0`` = fully random, incompressible), sweeping how well the
+    second-chance tier's zlib pass can do.  Exactly one ``randrange``
+    is always consumed for the fill byte first, so the 1.0 path is
+    byte-identical to the historical generator and every committed
+    stream digest is preserved.
     """
-    return bytes([rng.randrange(256)]) * size
+    if not 0.0 <= compressibility <= 1.0:
+        raise ValueError(
+            f"compressibility out of [0,1]: {compressibility}"
+        )
+    fill = bytes([rng.randrange(256)])
+    if compressibility >= 1.0:
+        return fill * size
+    n_random = min(size, round(size * (1.0 - compressibility)))
+    return rng.randbytes(n_random) + fill * (size - n_random)

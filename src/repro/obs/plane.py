@@ -296,6 +296,54 @@ def bind_store(
     )
 
 
+def bind_tier(
+    registry: MetricsRegistry, soft_dict: Any, prefix: str = "tier"
+) -> Any:
+    """Expose the compressed second-chance tier as pull gauges.
+
+    ``soft_dict`` is a :class:`~repro.kvstore.dict.SoftDict` (typed
+    ``Any`` to keep the obs plane import-light).  Returns the observe
+    callable for the ``tier.promote_latency`` histogram — the dict
+    calls it with each promotion's inflate-to-readmit duration in
+    seconds, so p99 promote cost is visible next to command latency.
+    """
+    _bind_attrs(
+        registry,
+        prefix,
+        soft_dict.tier_stats,
+        (
+            "demotions",
+            "promotions",
+            "second_chance_drops",
+            "displacements",
+            "incompressible",
+            "promotion_denials",
+            "bytes_saved",
+        ),
+    )
+    registry.gauge(
+        f"{prefix}.compressed_entries",
+        fn=lambda: soft_dict.compressed_entries,
+    )
+    registry.gauge(
+        f"{prefix}.compressed_bytes",
+        fn=lambda: soft_dict.compressed_bytes,
+    )
+    registry.gauge(
+        f"{prefix}.enabled", fn=lambda: int(soft_dict.tier.enabled)
+    )
+    hist = registry.histogram(
+        f"{prefix}.promote_latency", bounds=DEFAULT_LATENCY_BOUNDS
+    )
+    cell = hist.shared_cell()
+    bounds = hist.bounds
+
+    def observe(duration: float) -> None:
+        cell.observe(bisect_left(bounds, duration), duration)
+
+    return observe
+
+
 def bind_persistence(
     registry: MetricsRegistry, persist: Any, prefix: str = "persist"
 ) -> None:

@@ -250,6 +250,7 @@ class SmaAgent:
             "granted": budget.granted,
             "flexibility": self._sma.flexibility(),
             "reclaimable": self._sma.reclaimable_pages(),
+            "compressed": getattr(self._sma, "compressed_pages", 0),
         }
 
     def _send(self, frame: dict[str, Any]) -> None:

@@ -66,6 +66,7 @@ class _RemoteSma:
         self.budget = _RemoteBudget()
         self._flexibility = 0
         self._reclaimable = 0
+        self.compressed_pages = 0
         #: a client with an in-flight request must not receive demands
         self.busy = False
 
@@ -77,6 +78,9 @@ class _RemoteSma:
         )
         self._reclaimable = int(
             frame.get("reclaimable", self._reclaimable)
+        )
+        self.compressed_pages = int(
+            frame.get("compressed", self.compressed_pages)
         )
 
     def flexibility(self) -> int:

@@ -38,8 +38,9 @@ import threading
 from repro.core.locking import LockedSoftMemoryAllocator
 from repro.kvstore.persist.aof import FSYNC_POLICIES
 from repro.kvstore.persist.engine import Persistence, PersistenceConfig
-from repro.kvstore.store import DataStore
+from repro.kvstore.store import DataStore, StoreConfig
 from repro.kvstore.tcp import TcpKvServer
+from repro.kvstore.tier import TierConfig
 
 
 def build_server(
@@ -54,6 +55,7 @@ def build_server(
     smd_socket: str | None = None,
     cluster_shard: int | None = None,
     cluster_nodes: str | None = None,
+    tier: bool = True,
     name: str = "kv-server",
 ):
     """Construct (store, persistence-or-None, unstarted server).
@@ -97,7 +99,10 @@ def build_server(
         from repro.daemon.smd import SoftMemoryDaemon
 
         SoftMemoryDaemon(soft_capacity_pages=sma_pages).register(sma)
-    store = DataStore(sma)
+    # second-chance tier: victims of reclamation demote to a compressed
+    # form before a later wave truly drops them (on by default; each
+    # cluster shard runs its own tier over the shared SMD budget)
+    store = DataStore(sma, StoreConfig(tier=TierConfig(enabled=tier)))
     store.smd_agent = agent
     if agent is not None:
         from repro.obs.plane import bind_agent
@@ -203,6 +208,12 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="comma-separated host:port of every shard, in shard order",
     )
+    parser.add_argument(
+        "--tier",
+        choices=("on", "off"),
+        default="on",
+        help="compressed second-chance tier (demote-before-drop)",
+    )
     args = parser.parse_args(argv)
 
     if args.dir is None and args.appendonly == "yes" and "--appendonly" in (
@@ -221,6 +232,7 @@ def main(argv: list[str] | None = None) -> int:
         smd_socket=args.smd_socket,
         cluster_shard=args.cluster_shard,
         cluster_nodes=args.cluster_nodes,
+        tier=args.tier == "on",
     )
     shutdown = GracefulShutdown(server, persistence, store.smd_agent)
     signal.signal(signal.SIGTERM, shutdown.request)

@@ -105,9 +105,15 @@ def cluster_snapshot(
     Shards that refuse the connection are recorded as
     ``{"address": ..., "error": ...}`` rather than failing the whole
     dump — a cluster mid-restart still yields a useful document.
+
+    ``tier_total`` sums the ``tier.*`` second-chance gauges from each
+    shard's ``# SoftMemory`` section (every shard runs its own tier
+    over the shared SMD budget, so the machine-wide compressed
+    footprint is their sum).
     """
     shards: list[dict[str, Any]] = []
     totals: dict[str, Any] = {}
+    tier_totals: dict[str, Any] = {}
     reachable = 0
     for host, port in addresses:
         try:
@@ -120,11 +126,19 @@ def cluster_snapshot(
         for key, value in shard["info"].get("Stats", {}).items():
             if isinstance(value, (int, float)):
                 totals[key] = round(totals.get(key, 0) + value, 9)
+        for key, value in shard["info"].get("SoftMemory", {}).items():
+            if not key.startswith("tier."):
+                continue
+            if key.endswith((".mean", ".p50", ".p99", ".max")):
+                continue  # percentiles don't sum across shards
+            if isinstance(value, (int, float)):
+                tier_totals[key] = round(tier_totals.get(key, 0) + value, 9)
     return {
         "shards": shards,
         "shard_count": len(addresses),
         "shards_reachable": reachable,
         "stats_total": totals,
+        "tier_total": tier_totals,
     }
 
 

@@ -5,6 +5,7 @@ from hypothesis import given, strategies as st
 
 from repro.daemon.weights import (
     WEIGHT_POLICIES,
+    compressed_aware_weight,
     paper_weight,
     soft_only_weight,
     total_footprint_weight,
@@ -79,8 +80,33 @@ class TestOtherPolicies:
             "footprint",
             "soft-only",
             "traditional-only",
+            "compressed-aware",
         }
 
     @pytest.mark.parametrize("name", sorted(WEIGHT_POLICIES))
     def test_all_policies_callable(self, name):
         assert WEIGHT_POLICIES[name](10, 10) >= 0.0
+
+    @pytest.mark.parametrize("name", sorted(WEIGHT_POLICIES))
+    def test_all_policies_accept_compressed(self, name):
+        assert WEIGHT_POLICIES[name](10, 10, 5) >= 0.0
+
+
+class TestCompressedAware:
+    def test_matches_paper_without_compressed(self):
+        assert compressed_aware_weight(50, 100) == paper_weight(50, 100)
+        assert compressed_aware_weight(50, 100, 0) == paper_weight(50, 100)
+
+    def test_compressed_holdings_raise_weight(self):
+        # identical T and S: the process with more second-chance
+        # compressed pages is the cheaper disturbance, visited first
+        assert compressed_aware_weight(50, 100, 40) > compressed_aware_weight(
+            50, 100, 10
+        )
+
+    def test_soft_heavy_hot_data_still_protected(self):
+        # criterion (ii) survives: with no compressed holdings, the
+        # soft-heavy process still weighs less than the trad-heavy one
+        assert compressed_aware_weight(20, 180) < compressed_aware_weight(
+            180, 20
+        )

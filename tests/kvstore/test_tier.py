@@ -1,0 +1,355 @@
+"""Tests for the compressed second-chance tier (demote-before-drop)."""
+
+import pytest
+
+from repro.core.sma import SoftMemoryAllocator
+from repro.kvstore.dict import SoftDict
+from repro.kvstore.persist.codec import (
+    decode_record,
+    encode_demote,
+    scan_frames,
+)
+from repro.kvstore.store import DataStore, StoreConfig
+from repro.kvstore.tier import (
+    TierConfig,
+    deflate_value,
+    inflate_value,
+)
+from repro.kvstore.values import CompressedValue, value_bytes
+
+TIER = TierConfig(enabled=True)
+
+
+@pytest.fixture
+def store():
+    sma = SoftMemoryAllocator(name="tier-test", request_batch_pages=1)
+    return DataStore(sma, StoreConfig(tier=TIER))
+
+
+def identity_holds(soft_dict):
+    ts = soft_dict.tier_stats
+    return ts.demotions == (
+        ts.promotions
+        + ts.second_chance_drops
+        + ts.displacements
+        + soft_dict.compressed_entries
+    )
+
+
+# ----------------------------------------------------------------------
+# deflate / inflate round-trips
+# ----------------------------------------------------------------------
+
+
+class TestDeflateInflate:
+    def test_string_round_trip(self):
+        value = b"x" * 500
+        cv = deflate_value(value, TIER)
+        assert cv is not None
+        assert cv.original_bytes == 500
+        assert len(cv.data) < 500
+        assert inflate_value(cv) == value
+
+    def test_hash_round_trip(self):
+        value = {b"f" * 40: b"v" * 200, b"g" * 40: b"w" * 200}
+        cv = deflate_value(value, TIER)
+        assert cv is not None
+        assert cv.original_bytes == value_bytes(value)
+        restored = inflate_value(cv)
+        assert restored == value
+        assert isinstance(restored, dict)
+
+    def test_list_round_trip(self):
+        from collections import deque
+
+        value = deque([b"item" * 30, b"item" * 30, b"other" * 20])
+        cv = deflate_value(value, TIER)
+        assert cv is not None
+        restored = inflate_value(cv)
+        assert list(restored) == list(value)
+
+    def test_too_small_declined(self):
+        assert deflate_value(b"tiny", TIER) is None
+
+    def test_incompressible_declined(self):
+        import random
+
+        noise = random.Random(7).randbytes(4096)
+        assert deflate_value(noise, TIER) is None
+
+    def test_already_compressed_declined(self):
+        cv = deflate_value(b"y" * 300, TIER)
+        assert deflate_value(cv, TIER) is None
+
+    def test_compressed_value_charged_at_compressed_size(self):
+        cv = deflate_value(b"z" * 1000, TIER)
+        assert value_bytes(cv) == len(cv.data) < 1000
+
+
+class TestTierConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_value_bytes": -1},
+            {"min_ratio": 0.0},
+            {"min_ratio": 1.5},
+            {"watermark_frac": 0.0},
+            {"watermark_frac": 2.0},
+            {"compress_level": 10},
+            {"compress_level": -1},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TierConfig(**kwargs)
+
+    def test_disabled_by_default(self):
+        assert TierConfig().enabled is False
+        assert StoreConfig().tier.enabled is False
+
+
+# ----------------------------------------------------------------------
+# codec: C value tag and M demote record
+# ----------------------------------------------------------------------
+
+
+class TestCodec:
+    def test_demote_record_round_trip(self):
+        buf = bytearray()
+        encode_demote(buf, b"the-key")
+        payloads, valid = scan_frames(bytes(buf))
+        assert valid == len(buf) and len(payloads) == 1
+        assert decode_record(payloads[0]) == ("M", b"the-key")
+
+    def test_compressed_value_survives_write_record(self):
+        from repro.kvstore.persist.codec import encode_write, EXP_NONE
+
+        cv = deflate_value(b"q" * 400, TIER)
+        buf = bytearray()
+        encode_write(buf, b"k", cv, EXP_NONE)
+        payloads, valid = scan_frames(bytes(buf))
+        assert valid == len(buf) and len(payloads) == 1
+        record = decode_record(payloads[0])
+        kind, key, value = record[0], record[1], record[2]
+        assert (kind, key) == ("W", b"k")
+        assert type(value) is CompressedValue
+        assert value.data == cv.data
+        assert value.original_bytes == 400
+        assert inflate_value(value) == b"q" * 400
+
+
+# ----------------------------------------------------------------------
+# demote / promote / drop via the store
+# ----------------------------------------------------------------------
+
+
+class TestDemotePromote:
+    def fill(self, store, n=20, size=2000):
+        for i in range(n):
+            store.set(f"k{i}".encode(), b"A" * size)
+
+    def test_pressure_demotes_instead_of_dropping(self, store):
+        self.fill(store)
+        stats = store.sma.reclaim(4)
+        assert stats.allocations_demoted > 0
+        assert stats.bytes_demoted > 0
+        assert stats.allocations_freed == 0
+        assert store.stats.reclaimed_keys == 0
+        assert len(store.keyspace) == 20  # every key still present
+        assert store._dict.compressed_entries == stats.allocations_demoted
+        assert identity_holds(store._dict)
+        store.sma.check_invariants()
+
+    def test_demotion_frees_real_budget(self, store):
+        self.fill(store)
+        held_before = store.sma.budget.held
+        live_before = store.sma.live_bytes
+        store.sma.reclaim(4)
+        assert store.sma.live_bytes < live_before
+        assert store.sma.budget.held <= held_before
+
+    def test_read_promotes_and_stays_a_hit(self, store):
+        self.fill(store)
+        store.sma.reclaim(4)
+        demoted = store._dict.compressed_entries
+        assert demoted > 0
+        hits_before = store.stats.hits
+        for i in range(20):
+            assert store.get(f"k{i}".encode()) == b"A" * 2000
+        assert store.stats.hits == hits_before + 20
+        assert store._dict.tier_stats.promotions == demoted
+        assert store._dict.compressed_entries == 0
+        assert identity_holds(store._dict)
+        store.sma.check_invariants()
+
+    def test_second_wave_drops_compressed_before_new_victims(self, store):
+        # exhaust residents so only compressed entries remain, then
+        # push again: the tier's own entries must go (second chance over)
+        self.fill(store, n=8)
+        for _ in range(64):
+            if not store._dict.evict_one():
+                break
+        ts = store._dict.tier_stats
+        assert ts.second_chance_drops > 0
+        assert store._dict.compressed_entries == 0
+        assert len(store.keyspace) == 0
+        assert identity_holds(store._dict)
+        store.sma.check_invariants()
+
+    def test_second_chance_drop_counts_as_reclaimed_key(self, store):
+        self.fill(store, n=4)
+        while store._dict.evict_one():
+            pass
+        assert store.stats.reclaimed_keys == 4
+        for i in range(4):
+            assert store.get(f"k{i}".encode()) is None
+
+    def test_watermark_caps_the_tier(self, store):
+        config = TierConfig(enabled=True, watermark_frac=0.25)
+        sma = SoftMemoryAllocator(name="wm-test", request_batch_pages=1)
+        store = DataStore(sma, StoreConfig(tier=config))
+        self.fill(store, n=16)
+        for _ in range(8):
+            store._dict.evict_one()
+        dct = store._dict
+        total = len(dct)
+        assert dct.compressed_entries <= max(
+            1, int(config.watermark_frac * total) + 1
+        )
+        assert dct.tier_stats.second_chance_drops > 0
+        assert identity_holds(dct)
+
+    def test_incompressible_victim_drops_outright(self):
+        import random
+
+        sma = SoftMemoryAllocator(name="noise-test", request_batch_pages=1)
+        store = DataStore(sma, StoreConfig(tier=TIER))
+        rng = random.Random(3)
+        for i in range(6):
+            store.set(f"n{i}".encode(), rng.randbytes(2000))
+        before = len(store.keyspace)
+        assert store._dict.evict_one()
+        assert store._dict.tier_stats.incompressible == 1
+        assert store._dict.tier_stats.demotions == 0
+        assert len(store.keyspace) == before - 1
+
+    def test_delete_of_demoted_entry_is_a_displacement(self, store):
+        self.fill(store)
+        store.sma.reclaim(4)
+        # find one demoted key by peeking at the raw dict
+        demoted_keys = [
+            k
+            for k, v in store._dict.items()
+            if type(v) is CompressedValue
+        ]
+        assert demoted_keys
+        assert store.delete(demoted_keys[0]) == 1
+        assert store._dict.tier_stats.displacements == 1
+        assert identity_holds(store._dict)
+        store.sma.check_invariants()
+
+    def test_overwrite_of_demoted_entry_is_a_displacement(self, store):
+        self.fill(store)
+        store.sma.reclaim(4)
+        demoted_keys = [
+            k
+            for k, v in store._dict.items()
+            if type(v) is CompressedValue
+        ]
+        assert demoted_keys
+        store.set(demoted_keys[0], b"B" * 2000)
+        dct = store._dict
+        assert dct.tier_stats.displacements == 1
+        assert store.get(demoted_keys[0]) == b"B" * 2000
+        assert identity_holds(dct)
+        store.sma.check_invariants()
+
+    def test_ledger_charges_compressed_size(self, store):
+        self.fill(store, n=10)
+        trad_before = store.traditional_bytes
+        store.sma.reclaim(2)
+        ts = store._dict.tier_stats
+        assert ts.demotions > 0
+        assert store.traditional_bytes == trad_before - ts.bytes_saved
+        # promoting restores the original accounting
+        for k, v in list(store._dict.items()):
+            if type(v) is CompressedValue:
+                store.get(k)
+        assert store.traditional_bytes == trad_before
+        store.sma.check_invariants()
+
+    def test_tier_off_reproduces_plain_drop(self):
+        sma = SoftMemoryAllocator(name="plain-test", request_batch_pages=1)
+        store = DataStore(sma)  # default StoreConfig: tier disabled
+        for i in range(10):
+            store.set(f"k{i}".encode(), b"A" * 2000)
+        stats = sma.reclaim(2)
+        assert stats.allocations_demoted == 0
+        assert stats.allocations_freed > 0
+        assert store.stats.reclaimed_keys == stats.allocations_freed
+        assert store._dict.compressed_entries == 0
+
+    def test_info_exposes_tier_gauges(self, store):
+        self.fill(store, n=6)
+        store.sma.reclaim(2)
+        info = store.info()
+        assert info["compressed_entries"] == store._dict.compressed_entries
+        assert info["compressed_bytes"] == store._dict.compressed_bytes
+        snapshot = store.obs.registry.snapshot()
+        assert snapshot["tier.demotions"] == store._dict.tier_stats.demotions
+        assert snapshot["tier.enabled"] == 1
+        assert "tier.promote_latency.p99" in snapshot
+
+    def test_promote_latency_histogram_observes(self, store):
+        self.fill(store, n=6)
+        store.sma.reclaim(2)
+        for k, v in list(store._dict.items()):
+            if type(v) is CompressedValue:
+                store.get(k)
+        snapshot = store.obs.registry.snapshot()
+        assert snapshot["tier.promote_latency.count"] >= 1
+
+
+class TestRegisterCompressed:
+    def test_adopts_inserted_compressed_value(self, store):
+        cv = deflate_value(b"r" * 800, TIER)
+        size = 80 + len(b"rk") + value_bytes(cv)
+        store._dict.put(b"rk", cv, size)
+        assert store._dict.register_compressed(b"rk")
+        dct = store._dict
+        assert dct.compressed_entries == 1
+        assert dct.tier_stats.demotions == 1
+        assert identity_holds(dct)
+        # idempotent
+        assert dct.register_compressed(b"rk")
+        assert dct.tier_stats.demotions == 1
+
+    def test_rejects_resident_or_absent(self, store):
+        store.set(b"res", b"A" * 200)
+        assert not store._dict.register_compressed(b"res")
+        assert not store._dict.register_compressed(b"ghost")
+
+
+class TestSoftDemotePrimitive:
+    def test_demote_shrinks_in_place_without_budget_traffic(self):
+        sma = SoftMemoryAllocator(name="sd-test")
+        context = sma.create_context("c")
+        ptr = sma.soft_malloc(3000, context, "payload")
+        requests_before = sma.stats.daemon_requests
+        new_ptr = sma.soft_demote(ptr, 300, "small")
+        assert new_ptr is not None
+        assert new_ptr.size == 300
+        assert new_ptr.deref() == "small"
+        assert sma.stats.daemon_requests == requests_before
+        assert sma.stats.demotions == 1
+        assert not ptr.allocation.valid
+        sma.check_invariants()
+
+    def test_demote_to_larger_size_rejected(self):
+        sma = SoftMemoryAllocator(name="sd-test2")
+        context = sma.create_context("c")
+        ptr = sma.soft_malloc(100, context, "p")
+        with pytest.raises(ValueError):
+            sma.soft_demote(ptr, 100)
+        with pytest.raises(ValueError):
+            sma.soft_demote(ptr, 200)

@@ -80,6 +80,20 @@ def test_spec_round_trips_through_dict_preserving_the_stream():
         assert stream_digest(clone, 5) == stream_digest(spec, 5)
 
 
+def test_default_compressibility_absent_from_dict():
+    """The stream RNG seeds from to_dict(): the default knob must stay
+    out of it or every committed digest would shift."""
+    spec = preset("ycsb-b", keyspace=128)
+    assert "compressibility" not in spec.to_dict()
+    swept = preset("ycsb-b", keyspace=128, compressibility=0.5)
+    doc = swept.to_dict()
+    assert doc["compressibility"] == 0.5
+    clone = WorkloadSpec.from_dict(doc)
+    assert clone == swept
+    assert stream_digest(clone, 5) == stream_digest(swept, 5)
+    assert stream_digest(swept, 5) != stream_digest(spec, 5)
+
+
 # ----------------------------------------------------------------------
 # preset validity and op shapes
 # ----------------------------------------------------------------------

@@ -223,6 +223,63 @@ def test_payload_length_and_determinism(size, seed):
         assert len(set(data)) == 1  # one byte repeated
 
 
+@given(size=st.integers(min_value=0, max_value=8192), seed=seeds)
+def test_payload_default_compressibility_byte_identical(size, seed):
+    """The 1.0 knob setting is the historical generator, bit for bit
+    (stream digests and same-seed replays depend on it)."""
+    legacy = bytes([random.Random(seed).randrange(256)]) * size
+    assert payload(size, random.Random(seed)) == legacy
+    assert payload(size, random.Random(seed), 1.0) == legacy
+
+
+@given(
+    size=st.integers(min_value=0, max_value=8192),
+    seed=seeds,
+    compressibility=st.floats(
+        min_value=0.0, max_value=1.0,
+        allow_nan=False, allow_infinity=False,
+    ),
+)
+def test_payload_compressibility_length_and_determinism(
+    size, seed, compressibility
+):
+    data = payload(size, random.Random(seed), compressibility)
+    assert len(data) == size
+    assert payload(size, random.Random(seed), compressibility) == data
+
+
+@given(seed=seeds)
+def test_payload_compressibility_orders_deflate_ratio(seed):
+    """More fill byte -> zlib does at least as well (the sweep axis the
+    tier benchmark relies on is monotone in expectation; assert the
+    coarse ends, which hold for every seed at this size)."""
+    import zlib
+
+    size = 4096
+    sizes = {
+        c: len(zlib.compress(payload(size, random.Random(seed), c), 1))
+        for c in (0.0, 0.5, 1.0)
+    }
+    assert sizes[1.0] < size * 0.05          # repeated byte: tiny
+    assert sizes[0.0] > size * 0.9           # pure RNG: incompressible
+    assert sizes[1.0] < sizes[0.5] < sizes[0.0]
+
+
+@given(size=st.integers(min_value=1, max_value=8192), seed=seeds)
+def test_payload_random_prefix_fraction(size, seed):
+    data = payload(size, random.Random(seed), 0.75)
+    n_random = min(size, round(size * 0.25))
+    tail = data[n_random:]
+    if tail:
+        assert len(set(tail)) == 1  # the compressible fill
+
+
+@pytest.mark.parametrize("bad", [-0.1, 1.1])
+def test_payload_compressibility_validation(bad):
+    with pytest.raises(ValueError):
+        payload(16, random.Random(0), bad)
+
+
 # ----------------------------------------------------------------------
 # constructor validation
 # ----------------------------------------------------------------------

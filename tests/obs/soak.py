@@ -11,6 +11,9 @@ TCP — then drives seeded traffic phases through a counting client:
 * ``churn``    — a seeded mix of GET/SET/DEL/INCR/HSET/LPUSH/EXPIRE;
 * ``pressure`` — the antagonist allocates until the daemon reclaims
   keyspace entries (reclaimed keys, over-reclaim, trace events);
+* ``tier``     — (with ``tier=True``) a ``MEMORY PURGE`` wave demotes
+  entries into the compressed second-chance tier, reads promote a
+  sample back, and a deeper wave forces second-chance drops;
 * ``degraded`` — the store's SMA is marked degraded mid-traffic, so
   writes needing budget surface as OOM error replies, not crashes;
 * ``poison``   — malformed RESP frames on throwaway connections.
@@ -21,7 +24,12 @@ cross-layer contract the metrics exist to certify:
 1. both SMAs' internal ledgers are consistent (``check_invariants``);
 2. daemon and client budget ledgers agree per process;
 3. SMD conservation — ``assigned == granted − released − reclaimed −
-   forfeited`` — holds exactly across grants, reclamation, resyncs;
+   forfeited`` — holds exactly across grants, reclamation, resyncs
+   (with the tier on, compressed entries sit in those ledgers at
+   compressed size, and the identity must stay exact anyway);
+8. tier conservation — ``demotions == promotions +
+   second_chance_drops + displacements + compressed_entries`` — every
+   demoted entry is accounted for, in every phase;
 4. the command counter equals the sum of all per-command histogram
    counts (every command observed exactly once);
 5. no monotonic series ever decreases between checks;
@@ -52,8 +60,9 @@ from repro.kvstore.resp import (
     RespError,
     RespParser,
 )
-from repro.kvstore.store import DataStore
+from repro.kvstore.store import DataStore, StoreConfig
 from repro.kvstore.tcp import EventLoopKvServer, TcpKvClient
+from repro.kvstore.tier import TierConfig
 from repro.obs.plane import bind_smd
 from repro.util.units import PAGE_SIZE
 
@@ -112,6 +121,7 @@ class SoakHarness:
         capacity_pages: int = 192,
         startup_budget_pages: int = 16,
         data_dir: str | None = None,
+        tier: bool = False,
     ) -> None:
         self.rng = random.Random(seed)
         self.smd = SoftMemoryDaemon(
@@ -134,7 +144,12 @@ class SoakHarness:
         )
         self._antagonist_ptrs: list[object] = []
 
-        self.store = DataStore(self.sma, name="soak")
+        self.tier_enabled = tier
+        self.store = DataStore(
+            self.sma,
+            StoreConfig(tier=TierConfig(enabled=tier)),
+            name="soak",
+        )
         self.persistence: Persistence | None = None
         if data_dir is not None:
             # durability plane under the same soak: every phase's check
@@ -215,6 +230,25 @@ class SoakHarness:
             self._antagonist_ptrs.append(ptr)
             allocated += chunk_pages
         self._finish_phase("pressure")
+
+    def phase_tier(self, purge_pages: int = 24) -> None:
+        """Demote → promote → second wave, all over live TCP.
+
+        A ``MEMORY PURGE`` wave compresses victims in place, seeded
+        reads promote a sample back to residency, and a much deeper
+        second wave pushes the tier past its watermark into real
+        second-chance drops — the full lifecycle the tier conservation
+        identity (check 8) spans. Only meaningful with ``tier=True``.
+        """
+        client = self.client
+        client.execute(b"MEMORY", b"PURGE", b"%d" % purge_pages)
+        # promote a seeded slice of the fill keys back to residency
+        for i in range(0, 200, 2):
+            client.execute(b"GET", b"fill:%d" % i)
+        # the second pressure wave: deep enough to exhaust residents
+        # and spill the tier itself (second-chance drops, tombstones)
+        client.execute(b"MEMORY", b"PURGE", b"%d" % (purge_pages * 4))
+        self._finish_phase("tier")
 
     def phase_degraded(self, ops: int = 120) -> None:
         """Traffic while the store's SMA cannot reach the daemon."""
@@ -329,6 +363,25 @@ class SoakHarness:
                 f"{hist_total}{where}"
             )
 
+            # 8. tier conservation — every demotion is still accounted
+            # for somewhere: promoted back, second-chance dropped,
+            # displaced by the client, or still sitting compressed.
+            # (Exact whether the tier is enabled or not: all zeros off.)
+            dct = self.store._dict
+            ts = dct.tier_stats
+            assert ts.demotions == (
+                ts.promotions
+                + ts.second_chance_drops
+                + ts.displacements
+                + dct.compressed_entries
+            ), (
+                f"tier identity broken{where}: "
+                f"demotions={ts.demotions} promotions={ts.promotions} "
+                f"drops={ts.second_chance_drops} "
+                f"displacements={ts.displacements} "
+                f"compressed={dct.compressed_entries}"
+            )
+
             # 5. monotonic series never decrease
             current = obs.registry.monotonic_snapshot()
             for name, value in self._last_monotonic.items():
@@ -407,6 +460,8 @@ class SoakHarness:
             self.phase_fill()
             self.phase_churn()
             self.phase_pressure()
+            if self.tier_enabled:
+                self.phase_tier()
             self.phase_degraded()
             self.phase_churn(200)
             self.phase_poison()

@@ -124,6 +124,29 @@ def test_conservation_across_shard_processes():
 
             assert settle(lambda: shards_reclaimed() > 0, timeout=60)
 
+            # ...and the wave went *through* the second-chance tier:
+            # each shard process runs its own tier (kv_server defaults
+            # it on) over the one machine-wide daemon, so the reclaimed
+            # keys above were demote-first — the shards compressed
+            # victims before the deeper pressure truly dropped them —
+            # and every shard's tier books balance on their own
+            def shard_tiers_demoted() -> int:
+                total = 0
+                for address in supervisor.addresses:
+                    info = shard_info(address)
+                    soft = info["SoftMemory"]
+                    assert soft["tier.enabled"] == 1
+                    assert soft["tier.demotions"] == (
+                        soft["tier.promotions"]
+                        + soft["tier.second_chance_drops"]
+                        + soft["tier.displacements"]
+                        + info["Keyspace"]["compressed_entries"]
+                    ), f"tier identity broken on shard {address}"
+                    total += soft["tier.demotions"]
+                return total
+
+            assert settle(lambda: shard_tiers_demoted() > 0, timeout=60)
+
             # phase 4: cross-process ledger agreement — the sum of the
             # per-process granted gauges equals the daemon's assigned
             def ledgers_agree() -> bool:

@@ -11,8 +11,9 @@ import json
 import pytest
 
 from repro.core.locking import LockedSoftMemoryAllocator
-from repro.kvstore.store import DataStore
+from repro.kvstore.store import DataStore, StoreConfig
 from repro.kvstore.tcp import EventLoopKvServer, TcpKvClient
+from repro.kvstore.tier import TierConfig
 from repro.tools import metrics_dump
 
 
@@ -22,6 +23,33 @@ def server():
     srv = EventLoopKvServer(store).start()
     yield srv
     srv.stop()
+
+
+@pytest.fixture
+def tier_servers():
+    """Two tier-enabled servers: one for single-node tests, both for
+    the merged cluster-snapshot view."""
+    servers = []
+    for i in range(2):
+        store = DataStore(
+            LockedSoftMemoryAllocator(name=f"tier-info-{i}"),
+            StoreConfig(tier=TierConfig(enabled=True)),
+        )
+        servers.append(EventLoopKvServer(store).start())
+    yield servers
+    for srv in servers:
+        srv.stop()
+
+
+def demote_via_purge(address, keys: int = 12, pages: int = 2) -> int:
+    """Fill then MEMORY PURGE; return the demotions that wave caused."""
+    with TcpKvClient(address) as client:
+        for i in range(keys):
+            client.execute("SET", b"t%d" % i, b"T" * 2000)
+        client.execute("MEMORY", "PURGE", str(pages))
+        payload = client.execute(b"INFO", b"softmemory")
+    fields = metrics_dump.parse_info(payload)["SoftMemory"]
+    return fields["tier.demotions"]
 
 
 def info_sections(payload: bytes) -> dict[str, dict[str, str]]:
@@ -139,6 +167,48 @@ class TestMetricsDump:
         assert rc == 0
         document = json.loads(out.read_text())
         assert "info" in document and "slowlog" in document
+
+    def test_snapshot_carries_tier_gauges(self, tier_servers):
+        srv = tier_servers[0]
+        demoted = demote_via_purge(srv.address)
+        assert demoted > 0
+        host, port = srv.address
+        snap = metrics_dump.snapshot(host, port)
+        soft = snap["info"]["SoftMemory"]
+        assert soft["tier.enabled"] == 1
+        assert soft["tier.demotions"] == demoted
+        assert "tier.promote_latency.p99" in soft
+        assert snap["info"]["Keyspace"]["compressed_entries"] > 0
+        json.dumps(snap)
+
+    def test_cluster_snapshot_merges_tier_totals(self, tier_servers):
+        per_shard = [demote_via_purge(srv.address) for srv in tier_servers]
+        assert all(d > 0 for d in per_shard)
+        snap = metrics_dump.cluster_snapshot(
+            [srv.address for srv in tier_servers]
+        )
+        totals = snap["tier_total"]
+        assert totals["tier.demotions"] == sum(per_shard)
+        assert totals["tier.promotions"] == 0
+        # per-shard latency percentiles must not be summed as if they
+        # were counters
+        assert "tier.promote_latency.p99" not in totals
+        assert "tier.promote_latency.count" in totals
+        json.dumps(snap)
+
+    def test_diff_subtracts_tier_series(self, tier_servers):
+        srv = tier_servers[0]
+        host, port = srv.address
+        demoted = demote_via_purge(srv.address)
+        before = metrics_dump.snapshot(host, port)
+        with TcpKvClient(srv.address) as client:
+            for i in range(12):  # promote everything the wave demoted
+                client.execute("GET", b"t%d" % i)
+        after = metrics_dump.snapshot(host, port)
+        delta = metrics_dump.diff(before, after)["diff"]
+        assert delta["SoftMemory"]["tier.demotions"] == 0
+        assert delta["SoftMemory"]["tier.promotions"] == demoted
+        assert delta["Keyspace"]["compressed_entries"] == -demoted
 
     def test_cli_diff_mode(self, server, tmp_path):
         host, port = server.address
