@@ -322,6 +322,17 @@ def _info_sections(store: DataStore) -> list[tuple[str, list[str]]]:
             f"{name}:{value}"
             for name, value in persist.stats.as_dict().items()
         )
+    repl = store.repl
+    if repl is None:
+        # a never-replicating server still answers the section, so lag
+        # dashboards can poll any node with one parser
+        replication = [
+            "role:master",
+            "connected_replicas:0",
+            "master_repl_offset:0",
+        ]
+    else:
+        replication = repl.info_lines()
     state = store.cluster
     if state is None:
         cluster = ["cluster_enabled:0"]
@@ -341,6 +352,7 @@ def _info_sections(store: DataStore) -> list[tuple[str, list[str]]]:
         ("Server", server),
         ("Keyspace", keyspace),
         ("Persistence", persistence),
+        ("Replication", replication),
         ("Cluster", cluster),
         ("SoftMemory", soft),
         ("Stats", stats),
@@ -812,6 +824,57 @@ def cmd_lindex(store: DataStore, args: list[bytes]) -> Any:
     return store.lindex(args[0], _parse_int(args[1]))
 
 
+# ----------------------------------------------------------------------
+# replication
+# ----------------------------------------------------------------------
+
+#: commands a read-only replica refuses (exact Redis wording — typed
+#: clients key off the READONLY prefix)
+READONLY_MESSAGE = "READONLY You can't write against a read only replica."
+_READONLY = RespError(READONLY_MESSAGE)
+
+#: every command whose handler can mutate the keyspace; the replica
+#: gate checks the upper-cased name against this set
+_WRITE_NAMES = frozenset((
+    b"SET", b"SETNX", b"GETSET", b"MSET", b"DEL", b"EXPIRE", b"EXPIREAT",
+    b"PERSIST", b"INCR", b"DECR", b"INCRBY", b"DECRBY", b"APPEND",
+    b"FLUSHALL", b"GETDEL", b"SETRANGE", b"SETEX", b"PSETEX", b"RENAME",
+    b"RENAMENX", b"HSET", b"HDEL", b"HINCRBY", b"LPUSH", b"RPUSH",
+    b"LPOP", b"RPOP",
+))
+
+
+def cmd_replicaof(store: DataStore, args: list[bytes]) -> Any:
+    # role changes need the event loop's feed/link machinery; the
+    # threaded server (and raw dispatch) cannot host them
+    return RespError("ERR REPLICAOF requires the event-loop server")
+
+
+def cmd_psync(store: DataStore, args: list[bytes]) -> Any:
+    return RespError("ERR PSYNC requires the event-loop server")
+
+
+def cmd_replconf(store: DataStore, args: list[bytes]) -> Any:
+    return OK
+
+
+def cmd_wait(store: DataStore, args: list[bytes]) -> Any:
+    """WAIT fallback: the already-acked count, without blocking.
+
+    The event-loop server intercepts WAIT and actually waits on the
+    feed sockets; this handler serves the threaded server, where no
+    feeds exist, and answers with what is known right now.
+    """
+    if len(args) != 2:
+        return _wrong_args("wait")
+    _parse_int(args[0])
+    _parse_int(args[1])
+    repl = store.repl
+    if repl is None:
+        return 0
+    return repl.acked_by(repl.master_repl_offset)
+
+
 COMMANDS: dict[bytes, Handler] = {
     b"PING": cmd_ping,
     b"ECHO": cmd_echo,
@@ -872,6 +935,10 @@ COMMANDS: dict[bytes, Handler] = {
     b"LLEN": cmd_llen,
     b"LRANGE": cmd_lrange,
     b"LINDEX": cmd_lindex,
+    b"REPLICAOF": cmd_replicaof,
+    b"PSYNC": cmd_psync,
+    b"REPLCONF": cmd_replconf,
+    b"WAIT": cmd_wait,
 }
 
 
@@ -912,6 +979,13 @@ def dispatch(store: DataStore, argv: list[bytes]) -> Any:
         if redirect is not None:
             return redirect
     name = argv[0]
+    # replica gate: a read-only replica refuses writes before any
+    # execution. Non-replicating stores pay one attribute load and a
+    # None check per command — the same bargain as the cluster gate.
+    repl = store.repl
+    if repl is not None and repl.role == "replica":
+        if name.upper() in _WRITE_NAMES:
+            return _READONLY
     try:
         # GET/SET dominate cache workloads; their common shapes skip
         # the handler indirection and argv[1:] slice entirely (still

@@ -37,7 +37,8 @@ import os
 import re
 import threading
 import time
-from dataclasses import dataclass, field
+from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from repro.core.errors import SoftMemoryDenied
@@ -62,10 +63,11 @@ from repro.kvstore.persist.codec import (
 )
 from repro.kvstore.persist.snapshot import (
     SnapshotEntry,
+    materialize_entries,
     read_snapshot,
     write_snapshot,
 )
-from repro.kvstore.values import CompressedValue, Value
+from repro.kvstore.values import Value
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.kvstore.store import DataStore
@@ -212,6 +214,11 @@ class Persistence:
 
     _fsync_errors_closed = 0
     _write_errors_closed = 0
+    #: True while a replication apply drives the store: its mutations
+    #: must not re-enter the log hooks (the raw stream bytes land via
+    #: :meth:`append_raw` instead — hook replay would double-log, e.g.
+    #: ``_restore_write``'s internal delete emitting a spurious D)
+    _suppress = False
 
     # ------------------------------------------------------------------
     # attach + recovery
@@ -373,7 +380,7 @@ class Persistence:
         ex_relative: "float | None",
         keep_ttl: bool,
     ) -> None:
-        if not self._logging:
+        if not self._logging or self._suppress:
             return
         writer = self._writer
         if writer is None:
@@ -392,7 +399,7 @@ class Persistence:
             self.stats.aof_records += 1
 
     def log_delete(self, key: bytes) -> None:
-        if not self._logging:
+        if not self._logging or self._suppress:
             return
         writer = self._writer
         if writer is None:
@@ -411,7 +418,7 @@ class Persistence:
         Promotions are deliberately not logged — a recovered-compressed
         entry inflates on first read exactly like a live one.
         """
-        if not self._logging:
+        if not self._logging or self._suppress:
             return
         writer = self._writer
         if writer is None:
@@ -423,7 +430,7 @@ class Persistence:
 
     def log_tombstone(self, key: bytes) -> None:
         """Reclaimed soft entry: dropped data must stay dropped."""
-        if not self._logging:
+        if not self._logging or self._suppress:
             return
         writer = self._writer
         if writer is None:
@@ -435,7 +442,7 @@ class Persistence:
             self.stats.tombstones_logged += 1
 
     def log_expire(self, key: bytes, ex_relative: float) -> None:
-        if not self._logging:
+        if not self._logging or self._suppress:
             return
         writer = self._writer
         if writer is None:
@@ -446,7 +453,7 @@ class Persistence:
             self.stats.aof_records += 1
 
     def log_persist(self, key: bytes) -> None:
-        if not self._logging:
+        if not self._logging or self._suppress:
             return
         writer = self._writer
         if writer is None:
@@ -457,7 +464,7 @@ class Persistence:
             self.stats.aof_records += 1
 
     def log_flush(self) -> None:
-        if not self._logging:
+        if not self._logging or self._suppress:
             return
         writer = self._writer
         if writer is None:
@@ -466,6 +473,36 @@ class Persistence:
             encode_flush(writer.buffer)
             writer.note_records(1)
             self.stats.aof_records += 1
+
+    @contextmanager
+    def hooks_suppressed(self):
+        """Silence the ``log_*`` hooks for a replication apply.
+
+        The caller holds the store's serialization for the whole
+        block, so the flag needs no lock of its own.
+        """
+        self._suppress = True
+        try:
+            yield
+        finally:
+            self._suppress = False
+
+    def append_raw(self, data: bytes, records: int) -> None:
+        """Append already-framed stream bytes to the AOF verbatim.
+
+        The replica's local log must replay to the same state the
+        stream produced; the master already framed and CRC'd these
+        bytes, so they go in untouched.
+        """
+        if not self._logging or not data:
+            return
+        writer = self._writer
+        if writer is None:
+            return
+        with self._io_lock:
+            writer.buffer += data
+            writer.note_records(records)
+            self.stats.aof_records += records
 
     # ------------------------------------------------------------------
     # flushing (called by the serving loop, once per batch)
@@ -534,30 +571,8 @@ class Persistence:
             thread.join(timeout)
 
     def _materialize(self, store: "DataStore") -> list[SnapshotEntry]:
-        """Copy the live keyspace (containers included) for serialization.
-
-        Runs under the store's serialization: the copies are a
-        consistent cut, and the background writer never touches live
-        mutable values.
-        """
-        now_store = store._now()
-        now_unix = self._clock()
-        entries: list[SnapshotEntry] = []
-        for key, value in store.keyspace.items():
-            deadline = store._expires.get(key)
-            if deadline is not None and deadline <= now_store:
-                continue  # already expired; the sweep just hasn't run
-            deadline_ms: int | None = None
-            if deadline is not None:
-                deadline_ms = int(
-                    (now_unix + (deadline - now_store)) * 1000
-                )
-            if isinstance(value, dict):
-                value = dict(value)
-            elif not isinstance(value, (bytes, CompressedValue)):
-                value = type(value)(value)
-            entries.append((key, value, deadline_ms))
-        return entries
+        """A consistent cut of the keyspace (under store serialization)."""
+        return materialize_entries(store, self._clock())
 
     def _write_base(self, gen: int, entries: list[SnapshotEntry]) -> None:
         try:

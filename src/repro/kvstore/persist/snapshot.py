@@ -31,7 +31,7 @@ from repro.kvstore.persist.codec import (
     encode_write,
     scan_frames,
 )
-from repro.kvstore.values import Value
+from repro.kvstore.values import CompressedValue, Value
 
 MAGIC = b"RPROSNAP1\n"
 
@@ -39,17 +39,27 @@ MAGIC = b"RPROSNAP1\n"
 SnapshotEntry = tuple[bytes, Value, "int | None"]
 
 
-def write_snapshot(
-    path: str, entries: list[SnapshotEntry], saved_unix_ms: int
-) -> int:
-    """Serialize ``entries`` atomically to ``path``; return bytes written."""
-    out = bytearray(MAGIC)
+def snapshot_body(entries: list[SnapshotEntry], saved_unix_ms: int) -> bytes:
+    """Serialize ``entries`` to the framed body (W records + Z trailer).
+
+    This is the byte payload a full replication sync ships inline — the
+    same bytes a ``base-<g>.snap`` holds after the file magic.
+    """
+    out = bytearray()
     for key, value, deadline_ms in entries:
         if deadline_ms is None:
             encode_write(out, key, value, EXP_NONE)
         else:
             encode_write(out, key, value, EXP_ABSOLUTE, deadline_ms)
     encode_trailer(out, len(entries), saved_unix_ms)
+    return bytes(out)
+
+
+def write_snapshot(
+    path: str, entries: list[SnapshotEntry], saved_unix_ms: int
+) -> int:
+    """Serialize ``entries`` atomically to ``path``; return bytes written."""
+    out = MAGIC + snapshot_body(entries, saved_unix_ms)
     tmp = path + ".tmp"
     fd = os.open(tmp, os.O_CREAT | os.O_WRONLY | os.O_TRUNC, 0o644)
     try:
@@ -76,7 +86,18 @@ def read_snapshot(path: str) -> tuple[list[SnapshotEntry], int] | None:
         return None
     if not data.startswith(MAGIC):
         return None
-    body = data[len(MAGIC):]
+    return load_snapshot_bytes(data[len(MAGIC):])
+
+
+def load_snapshot_bytes(
+    body: bytes,
+) -> tuple[list[SnapshotEntry], int] | None:
+    """Validate a magic-less snapshot body (a full-sync payload).
+
+    Same contract as :func:`read_snapshot` minus the file concerns:
+    every frame must scan cleanly to the end, sealed by a Z trailer
+    whose count matches. ``None`` means invalid; never raises.
+    """
     payloads, valid_size = scan_frames(body)
     if valid_size != len(body) or not payloads:
         return None  # torn tail or trailing garbage: not a sealed capture
@@ -101,6 +122,32 @@ def read_snapshot(path: str) -> tuple[list[SnapshotEntry], int] | None:
     if trailer is None or trailer[1] != len(entries):
         return None
     return entries, trailer[2]
+
+
+def materialize_entries(store, now_unix: float) -> list[SnapshotEntry]:
+    """Copy the live keyspace (containers included) for serialization.
+
+    Must run under the store's serialization: the copies are a
+    consistent cut, and whoever serializes them afterwards (a BGSAVE
+    thread, a replication full sync) never touches live mutable
+    values. Store deadlines are on the store clock; they come out as
+    absolute unix-ms anchored at ``now_unix``.
+    """
+    now_store = store._now()
+    entries: list[SnapshotEntry] = []
+    for key, value in store.keyspace.items():
+        deadline = store._expires.get(key)
+        if deadline is not None and deadline <= now_store:
+            continue  # already expired; the sweep just hasn't run
+        deadline_ms: int | None = None
+        if deadline is not None:
+            deadline_ms = int((now_unix + (deadline - now_store)) * 1000)
+        if isinstance(value, dict):
+            value = dict(value)
+        elif not isinstance(value, (bytes, CompressedValue)):
+            value = type(value)(value)
+        entries.append((key, value, deadline_ms))
+    return entries
 
 
 def _fsync_dir(path: str) -> None:

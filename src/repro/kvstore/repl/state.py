@@ -1,0 +1,313 @@
+"""Shared replication state: roles, offsets, and the backlog ring.
+
+One :class:`ReplicationState` hangs off ``store.repl`` (``None`` until
+replication is engaged, so the standalone hot path pays one attribute
+load and a ``None`` check per mutation — the same discipline as
+``store.cluster``). It is the single source of truth both roles read:
+
+* **master** — the ``log_*`` taps re-encode every mutation with the
+  ``persist/codec.py`` encoders into a ``pending`` buffer; the event
+  loop drains it once per select round (right after the AOF group
+  commit) into the connected feeds *and* the in-memory backlog ring,
+  from which a bounced replica can partial-resync instead of paying a
+  full snapshot transfer.
+* **replica** — :class:`~repro.kvstore.repl.link.ReplicaLink` advances
+  the same offset as it applies the stream, and appends the applied
+  bytes to its *own* backlog ring, so a promoted replica can serve
+  partial resyncs to its ex-siblings from the same stream coordinates
+  (psync2-lite: promotion keeps the replication id).
+
+Offsets count stream bytes: ``master_repl_offset`` is the total ever
+produced (master) or applied (replica); the backlog covers the byte
+range ``[backlog_off, backlog_off + len(backlog))``. A partial resync
+request for ``offset`` is satisfiable iff the replication ids match
+and that offset falls inside (or exactly at the end of) the window.
+
+Everything here is mutated under the owning server's execution lock
+(or on its loop thread), so the state needs no lock of its own.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.kvstore.persist.codec import (
+    EXP_ABSOLUTE,
+    EXP_KEEP,
+    EXP_NONE,
+    encode_delete,
+    encode_demote,
+    encode_expire,
+    encode_flush,
+    encode_persist,
+    encode_tombstone,
+    encode_write,
+)
+from repro.kvstore.values import Value
+
+#: default backlog ring capacity (bytes); Redis ships 1 MiB too
+DEFAULT_BACKLOG_CAPACITY = 1 * 1024 * 1024
+
+
+def _new_replid() -> str:
+    """A fresh 40-hex replication id (same shape as Redis)."""
+    return f"{random.getrandbits(160):040x}"
+
+
+@dataclass
+class ReplicaFeed:
+    """Master-side view of one connected replica."""
+
+    addr: str
+    ack_offset: int = 0
+    last_ack_unix: float = 0.0
+    connected: bool = True
+
+
+class ReplicationState:
+    """Roles, the stream offset, and the backlog ring (see module doc)."""
+
+    def __init__(
+        self,
+        *,
+        backlog_capacity: int = DEFAULT_BACKLOG_CAPACITY,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if backlog_capacity <= 0:
+            raise ValueError("backlog_capacity must be positive")
+        self.role = "master"
+        self.replid = _new_replid()
+        self.backlog_capacity = backlog_capacity
+        self._clock = clock
+        #: total stream bytes produced (master) / applied (replica)
+        self.master_repl_offset = 0
+        #: records encoded since the last :meth:`drain`
+        self.pending = bytearray()
+        #: the ring: stream bytes ``[backlog_off, backlog_off+len)``
+        self.backlog = bytearray()
+        self.backlog_off = 0
+        #: flipped by the first PSYNC ever served; until then the
+        #: ``log_*`` taps are inert so a server that never replicates
+        #: pays nothing beyond the attribute check in the store
+        self.stream_started = False
+        #: master side: one entry per connected replica
+        self.feeds: list[ReplicaFeed] = []
+        # replica side
+        self.master_host: str | None = None
+        self.master_port: int | None = None
+        self.link_status = "none"  # none|connecting|sync|up|down
+        # counters (both roles; INFO # Replication)
+        self.sync_full = 0  # full syncs served (master)
+        self.sync_partial_ok = 0  # partial resyncs served (master)
+        self.sync_partial_err = 0  # partials refused -> full (master)
+        self.full_syncs_done = 0  # full syncs completed (replica)
+        self.partial_syncs_done = 0  # partial resyncs completed (replica)
+        self.reconnects = 0  # link re-dials after a drop (replica)
+        self.applied_records = 0  # stream records applied (replica)
+        self.apply_denied = 0  # budget-denied applies (future misses)
+        self.tombstones_applied = 0  # T records applied (replica)
+
+    # -- role transitions ----------------------------------------------
+
+    def become_replica(self, host: str, port: int) -> None:
+        self.role = "replica"
+        self.master_host = host
+        self.master_port = port
+        self.link_status = "connect"
+        self.feeds.clear()
+
+    def become_master(self) -> None:
+        """REPLICAOF NO ONE: keep replid + offset (psync2-lite), so
+        ex-siblings of the same dead master can partial-resync from
+        this node's backlog without a replid mismatch."""
+        self.role = "master"
+        self.master_host = None
+        self.master_port = None
+        self.link_status = "none"
+        # the backlog already holds the applied stream tail in the same
+        # coordinates; promotion only changes who produces new bytes
+        self.stream_started = True
+
+    def adopt(self, replid: str, offset: int) -> None:
+        """Full sync landed: take the master's id and offset; the old
+        backlog is in dead coordinates and is discarded."""
+        self.replid = replid
+        self.master_repl_offset = offset
+        self.pending.clear()
+        self.backlog.clear()
+        self.backlog_off = offset
+
+    # -- master-side log taps (mirror Persistence.log_*) ----------------
+
+    def _deadline_ms(self, ex_relative: float) -> int:
+        return int((self._clock() + ex_relative) * 1000)
+
+    def log_write(
+        self,
+        key: bytes,
+        value: Value,
+        ex_relative: "float | None",
+        keep_ttl: bool,
+    ) -> None:
+        if self.role != "master" or not self.stream_started:
+            return
+        out = self.pending
+        before = len(out)
+        if ex_relative is not None:
+            encode_write(
+                out, key, value, EXP_ABSOLUTE, self._deadline_ms(ex_relative)
+            )
+        elif keep_ttl:
+            encode_write(out, key, value, EXP_KEEP)
+        else:
+            encode_write(out, key, value, EXP_NONE)
+        self.master_repl_offset += len(out) - before
+
+    def _log_keyed(self, encoder, key: bytes) -> None:
+        if self.role != "master" or not self.stream_started:
+            return
+        out = self.pending
+        before = len(out)
+        encoder(out, key)
+        self.master_repl_offset += len(out) - before
+
+    def log_delete(self, key: bytes) -> None:
+        self._log_keyed(encode_delete, key)
+
+    def log_tombstone(self, key: bytes) -> None:
+        """SMA reclamation (or a second-chance drop): the tombstone
+        travels the stream so dropped-stays-dropped holds fleet-wide."""
+        self._log_keyed(encode_tombstone, key)
+
+    def log_demote(self, key: bytes) -> None:
+        self._log_keyed(encode_demote, key)
+
+    def log_persist(self, key: bytes) -> None:
+        self._log_keyed(encode_persist, key)
+
+    def log_expire(self, key: bytes, ex_relative: float) -> None:
+        if self.role != "master" or not self.stream_started:
+            return
+        out = self.pending
+        before = len(out)
+        encode_expire(out, key, self._deadline_ms(ex_relative))
+        self.master_repl_offset += len(out) - before
+
+    def log_flush(self) -> None:
+        if self.role != "master" or not self.stream_started:
+            return
+        out = self.pending
+        before = len(out)
+        encode_flush(out)
+        self.master_repl_offset += len(out) - before
+
+    # -- the backlog ring ----------------------------------------------
+
+    def _append_backlog(self, data: bytes) -> None:
+        backlog = self.backlog
+        backlog += data
+        overflow = len(backlog) - self.backlog_capacity
+        if overflow > 0:
+            del backlog[:overflow]
+            self.backlog_off += overflow
+
+    def drain(self) -> bytes:
+        """Move ``pending`` into the backlog; return it for the feeds."""
+        if not self.pending:
+            return b""
+        data = bytes(self.pending)
+        self.pending.clear()
+        self._append_backlog(data)
+        return data
+
+    def note_applied(self, raw: bytes, records: int) -> None:
+        """Replica side: ``raw`` stream bytes were applied verbatim."""
+        self.master_repl_offset += len(raw)
+        self._append_backlog(raw)
+        self.applied_records += records
+
+    def can_partial(self, replid: str, offset: int) -> bool:
+        """May a replica at ``offset`` resume from the backlog?"""
+        if replid != self.replid or offset < 0:
+            return False
+        return (
+            self.backlog_off
+            <= offset
+            <= self.backlog_off + len(self.backlog)
+        )
+
+    def backlog_since(self, offset: int) -> bytes:
+        """The stream tail from ``offset`` (caller checked the range)."""
+        return bytes(self.backlog[offset - self.backlog_off:])
+
+    # -- feed registry (master) ----------------------------------------
+
+    def register_feed(self, addr: str, ack_offset: int) -> ReplicaFeed:
+        feed = ReplicaFeed(
+            addr=addr, ack_offset=ack_offset, last_ack_unix=self._clock()
+        )
+        self.feeds.append(feed)
+        return feed
+
+    def drop_feed(self, feed: ReplicaFeed) -> None:
+        feed.connected = False
+        try:
+            self.feeds.remove(feed)
+        except ValueError:
+            pass
+
+    def note_ack(self, feed: ReplicaFeed, offset: int) -> None:
+        if offset > feed.ack_offset:
+            feed.ack_offset = offset
+        feed.last_ack_unix = self._clock()
+
+    def acked_by(self, offset: int) -> int:
+        """How many connected replicas acked at least ``offset``."""
+        return sum(1 for feed in self.feeds if feed.ack_offset >= offset)
+
+    # -- INFO # Replication --------------------------------------------
+
+    def info_lines(self) -> list[str]:
+        lines = [
+            f"role:{self.role}",
+            f"replid:{self.replid}",
+            f"master_repl_offset:{self.master_repl_offset}",
+            f"repl_backlog_size:{len(self.backlog)}",
+            f"repl_backlog_capacity:{self.backlog_capacity}",
+            f"repl_backlog_first_byte_offset:{self.backlog_off}",
+        ]
+        if self.role == "master":
+            lines += [
+                f"connected_replicas:{len(self.feeds)}",
+                f"sync_full:{self.sync_full}",
+                f"sync_partial_ok:{self.sync_partial_ok}",
+                f"sync_partial_err:{self.sync_partial_err}",
+            ]
+            for i, feed in enumerate(self.feeds):
+                lag = self.master_repl_offset - feed.ack_offset
+                lines.append(
+                    f"replica{i}:addr={feed.addr},"
+                    f"ack_offset={feed.ack_offset},lag={lag}"
+                )
+        else:
+            lines += [
+                f"master_host:{self.master_host}",
+                f"master_port:{self.master_port}",
+                f"master_link_status:{self.link_status}",
+                f"full_syncs_done:{self.full_syncs_done}",
+                f"partial_syncs_done:{self.partial_syncs_done}",
+                f"reconnects:{self.reconnects}",
+                f"applied_records:{self.applied_records}",
+                f"apply_denied:{self.apply_denied}",
+                f"tombstones_applied:{self.tombstones_applied}",
+            ]
+        return lines
+
+    def __repr__(self) -> str:
+        return (
+            f"<ReplicationState {self.role} replid={self.replid[:8]}... "
+            f"offset={self.master_repl_offset} feeds={len(self.feeds)}>"
+        )

@@ -73,6 +73,22 @@ class RespError(Exception):
         return hash(("RespError", self.message))
 
 
+class ReadOnlyReplicaError(RespError):
+    """A ``-READONLY`` reply: the node is a replica refusing a write.
+
+    Typed so clients can route around it (retry against the master,
+    count it as a topology signal) instead of string-matching every
+    :class:`RespError` they catch.
+    """
+
+
+def make_resp_error(message: str) -> RespError:
+    """Build the most specific error type for a ``-`` reply line."""
+    if message.startswith("READONLY"):
+        return ReadOnlyReplicaError(message)
+    return RespError(message)
+
+
 class ProtocolError(ValueError):
     """Malformed RESP input on the wire."""
 
@@ -520,7 +536,7 @@ class RespParser:
         if kind == b"+":
             return SimpleString(_decode_line(self._read_line()))
         if kind == b"-":
-            return RespError(_decode_line(self._read_line()))
+            return make_resp_error(_decode_line(self._read_line()))
         if kind == b":":
             return _parse_int(self._read_line())
         if kind == b"$":

@@ -68,6 +68,16 @@ _SET3 = frozenset((b"SET", b"set", b"SETNX", b"setnx", b"GETSET", b"getset"))
 _SET4 = frozenset((b"SETEX", b"setex", b"PSETEX", b"psetex"))
 _MSET = frozenset((b"MSET", b"mset"))
 
+# Commands the transport may intercept via ``repl_hook``: they need the
+# event loop's socket machinery (feed registration, deferred PSYNC
+# replies, blocking WAIT), which plain dispatch cannot reach. Canonical
+# casings only — an exotic casing falls through to the dispatch
+# fallbacks, which answer with a redirect-to-event-loop error.
+_REPL_NAMES = frozenset((
+    b"PSYNC", b"psync", b"REPLCONF", b"replconf",
+    b"WAIT", b"wait", b"REPLICAOF", b"replicaof",
+))
+
 
 def _keeps_views(argv: list) -> bool:
     """May ``argv`` reach its handler with memoryview payloads intact?
@@ -107,6 +117,10 @@ class KvServer:
         self.protocol_errors = 0
         #: bytes fed but discarded by protocol-error quarantines
         self.bytes_dropped = 0
+        #: transport-installed interceptor for replication commands
+        #: (``hook(argv, out)`` encodes its own reply — or defers it,
+        #: as PSYNC does); None costs the hot loop one identity check
+        self.repl_hook = None
 
     @property
     def parser(self) -> RespParser:
@@ -147,6 +161,7 @@ class KvServer:
         slowlog_add = obs.slowlog.add
         encode = encode_reply_into
         run = dispatch
+        hook = self.repl_hook
         frames: list[list] = []
         while True:
             views_before = parser.views_created
@@ -166,7 +181,10 @@ class KvServer:
                 start = perf_counter()
                 for argv in frames:
                     dispatched += 1
-                    encode(out, run(store, argv))
+                    if hook is not None and argv and argv[0] in _REPL_NAMES:
+                        hook(argv, out)
+                    else:
+                        encode(out, run(store, argv))
                     end = perf_counter()
                     if argv:
                         cell = cell_of(argv[0])

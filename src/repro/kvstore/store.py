@@ -46,6 +46,7 @@ from repro.kvstore.values import (
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.kvstore.cluster.state import ClusterState
     from repro.kvstore.persist.engine import Persistence
+    from repro.kvstore.repl.state import ReplicationState
 
 
 @lru_cache(maxsize=256)
@@ -141,6 +142,11 @@ class DataStore:
         #: Public because the dispatcher reads it per command — one
         #: attribute load is the whole standalone-mode cost.
         self.cluster: "ClusterState | None" = None
+        #: replication plane; None until a PSYNC is served or REPLICAOF
+        #: runs. Public for the same reason as ``cluster`` — the
+        #: dispatcher and the mutation taps read it per command, and
+        #: one attribute load is the whole standalone-mode cost.
+        self.repl: "ReplicationState | None" = None
         #: observability plane shared by every server wrapping this store
         self.obs = KvObservability(name=name)
         bind_store(self.obs.registry, self)
@@ -168,6 +174,9 @@ class DataStore:
         if self._persist is not None:
             # dropped soft data must stay dropped across a restart
             self._persist.log_tombstone(key)
+        if self.repl is not None:
+            # ... and across the fleet: replicas get the tombstone too
+            self.repl.log_tombstone(key)
 
     def _on_entry_demoted(self, key: bytes, compressed: CompressedValue) -> None:
         """Tier hook: an entry shrank to its compressed size.
@@ -181,6 +190,8 @@ class DataStore:
         )
         if self._persist is not None:
             self._persist.log_demote(key)
+        if self.repl is not None:
+            self.repl.log_demote(key)
 
     def _on_entry_promoted(
         self, key: bytes, value: Value, compressed: CompressedValue
@@ -332,6 +343,8 @@ class DataStore:
             # effect-based logging: INCR/APPEND/HSET all funnel here,
             # so the log carries resulting state and replays verbatim
             self._persist.log_write(key, value, ex, keep_ttl)
+        if self.repl is not None:
+            self.repl.log_write(key, value, ex, keep_ttl)
 
     def _recharge(self, key: bytes, value: Value) -> None:
         """Re-charge an entry after in-place mutation of its value."""
@@ -589,6 +602,8 @@ class DataStore:
             # expiry-driven deletes flow through here too: an expired
             # key is propagated as a delete, the way Redis logs DEL
             self._persist.log_delete(key)
+        if self.repl is not None:
+            self.repl.log_delete(key)
         return True
 
     def exists(self, *keys: bytes) -> int:
@@ -632,6 +647,8 @@ class DataStore:
         self._set_expiry(key, self._now() + seconds)
         if self._persist is not None:
             self._persist.log_expire(key, seconds)
+        if self.repl is not None:
+            self.repl.log_expire(key, seconds)
         return True
 
     def expireat(self, key: bytes, deadline: float) -> bool:
@@ -641,6 +658,8 @@ class DataStore:
         self._set_expiry(key, deadline)
         if self._persist is not None:
             self._persist.log_expire(key, deadline - self._now())
+        if self.repl is not None:
+            self.repl.log_expire(key, deadline - self._now())
         return True
 
     def ttl(self, key: bytes) -> int:
@@ -661,8 +680,11 @@ class DataStore:
         if self._check_expired(key) or key not in self._dict:
             return False
         cleared = self._expires.pop(key, None) is not None
-        if cleared and self._persist is not None:
-            self._persist.log_persist(key)
+        if cleared:
+            if self._persist is not None:
+                self._persist.log_persist(key)
+            if self.repl is not None:
+                self.repl.log_persist(key)
         return cleared
 
     # ------------------------------------------------------------------
@@ -718,6 +740,8 @@ class DataStore:
         self.traditional_bytes = 0
         if self._persist is not None:
             self._persist.log_flush()
+        if self.repl is not None:
+            self.repl.log_flush()
 
     # ------------------------------------------------------------------
     # durability plane

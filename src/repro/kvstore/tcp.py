@@ -36,6 +36,18 @@ import socket
 import threading
 import time
 
+from repro.kvstore.persist.snapshot import materialize_entries, snapshot_body
+from repro.kvstore.repl import (
+    DEFAULT_BACKLOG_CAPACITY,
+    ReplicaLink,
+    ReplicationState,
+)
+from repro.kvstore.resp import (
+    OK,
+    ProtocolError,
+    RespError,
+    encode_reply_into,
+)
 from repro.kvstore.server import KvServer
 from repro.kvstore.store import DataStore
 from repro.obs.plane import bind_server
@@ -44,6 +56,14 @@ _RECV_SIZE = 65536
 #: default per-connection pending-output cap before the server declares
 #: the client too slow and disconnects it (Redis: client-output-buffer-limit)
 _OUTPUT_BUFFER_LIMIT = 8 * 1024 * 1024
+#: replica feeds get a far larger allowance than interactive clients —
+#: a full-sync payload alone can dwarf the client limit, and dropping a
+#: briefly-slow replica forces a resync (Redis: the separate "slave"
+#: client-output-buffer-limit class)
+_REPL_OUTPUT_BUFFER_LIMIT = 64 * 1024 * 1024
+#: WAIT 0 means "no deadline" in Redis; this server runs WAIT on the
+#: loop thread, so an unreachable replica must not wedge it forever
+_WAIT_MAX_BLOCK = 10.0
 
 
 class _BaseTcpServer:
@@ -83,7 +103,8 @@ class _Connection:
     """Per-connection state owned by the event loop."""
 
     __slots__ = (
-        "sock", "session", "parser", "out", "pos", "want_write", "queued"
+        "sock", "session", "parser", "out", "pos", "want_write", "queued",
+        "feed",
     )
 
     def __init__(self, sock: socket.socket, store: DataStore) -> None:
@@ -94,6 +115,7 @@ class _Connection:
         self.pos = 0  # consumed prefix of ``out``
         self.want_write = False
         self.queued = False  # already on this round's flush queue
+        self.feed = None  # ReplicaFeed once this conn served a PSYNC
 
     @property
     def pending(self) -> int:
@@ -121,10 +143,19 @@ class EventLoopKvServer(_BaseTcpServer):
         backlog: int = 128,
         output_buffer_limit: int = _OUTPUT_BUFFER_LIMIT,
         shutdown_flush_timeout: float = 5.0,
+        repl_backlog: int = DEFAULT_BACKLOG_CAPACITY,
+        repl_output_buffer_limit: int = _REPL_OUTPUT_BUFFER_LIMIT,
     ) -> None:
         super().__init__(store, host, port, backlog)
         self.output_buffer_limit = output_buffer_limit
         self.shutdown_flush_timeout = shutdown_flush_timeout
+        self.repl_backlog = repl_backlog
+        self.repl_output_buffer_limit = repl_output_buffer_limit
+        #: connections that serve a replica feed (subset of registered)
+        self._feed_conns: list[_Connection] = []
+        #: PSYNC requests deferred to this round's broadcast step
+        self._psync_requests: list[tuple[_Connection, str, int]] = []
+        self._link: ReplicaLink | None = None
         self._listener.setblocking(False)
         self._selector = selectors.DefaultSelector()
         self._selector.register(self._listener, selectors.EVENT_READ, None)
@@ -155,6 +186,9 @@ class EventLoopKvServer(_BaseTcpServer):
         if self._stopped:
             return
         self._stopped = True
+        link = self._link
+        if link is not None:
+            link.request_stop()
         self._stop.set()
         try:
             self._waker_w.send(b"\0")
@@ -162,6 +196,8 @@ class EventLoopKvServer(_BaseTcpServer):
             pass
         if self._thread is not None:
             self._thread.join(timeout=self.shutdown_flush_timeout + 5)
+        if link is not None:
+            link.stop()
 
     # -- the loop ------------------------------------------------------
 
@@ -192,6 +228,16 @@ class EventLoopKvServer(_BaseTcpServer):
                     # one fsync) covers every batch executed this round;
                     # an idle round retires the deferred everysec fsync
                     persist.flush()
+                # replication broadcast rides between the group commit
+                # and the reply drain: stream bytes for this round's
+                # writes go to every feed, and deferred PSYNC replies
+                # (snapshot or backlog tail) are served — after the
+                # drain, so a brand-new feed cannot see bytes twice
+                state = self.store.repl
+                if state is not None and (
+                    self._psync_requests or state.pending
+                ):
+                    self._broadcast(flush_queue)
                 # every connection's replies for this round leave in
                 # one send *after* the group commit, so an acked write
                 # is a logged write and a pipelined batch is one
@@ -215,6 +261,10 @@ class EventLoopKvServer(_BaseTcpServer):
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             self.connections_served += 1
             conn = _Connection(sock, self.store)
+            conn.session.repl_hook = (
+                lambda argv, out, conn=conn:
+                self._repl_command(conn, argv, out)
+            )
             self._selector.register(sock, selectors.EVENT_READ, conn)
 
     def _handle(
@@ -239,6 +289,10 @@ class EventLoopKvServer(_BaseTcpServer):
         *not* flushed here — the loop sends each connection's round of
         replies in one syscall after the round's group commit.
         """
+        if conn.feed is not None:
+            # replica feed sockets carry nothing but REPLCONF ACKs;
+            # they never dispatch commands, so no lock is needed
+            return self._absorb_feed(conn)
         parser = conn.parser
         try:
             with parser.recv_view(_RECV_SIZE) as view:
@@ -300,7 +354,12 @@ class EventLoopKvServer(_BaseTcpServer):
             del out[:pos]
             pos = 0
         conn.pos = pos
-        if len(out) - pos > self.output_buffer_limit:
+        limit = (
+            self.repl_output_buffer_limit
+            if conn.feed is not None
+            else self.output_buffer_limit
+        )
+        if len(out) - pos > limit:
             self.clients_dropped += 1
             self._close(conn)
             return False
@@ -319,6 +378,314 @@ class EventLoopKvServer(_BaseTcpServer):
         except (KeyError, ValueError):
             pass
         conn.sock.close()
+        if conn.feed is not None:
+            state = self.store.repl
+            if state is not None:
+                state.drop_feed(conn.feed)
+            try:
+                self._feed_conns.remove(conn)
+            except ValueError:
+                pass
+            conn.feed = None
+
+    # -- replication ---------------------------------------------------
+
+    def _ensure_repl(self) -> ReplicationState:
+        """Create the replication state on first use (caller holds the
+        lock or runs before the loop starts)."""
+        state = self.store.repl
+        if state is None:
+            state = ReplicationState(backlog_capacity=self.repl_backlog)
+            self.store.repl = state
+        return state
+
+    def enable_replication(self) -> ReplicationState:
+        """Engage the replication plane eagerly (INFO shows it even
+        before the first PSYNC). Safe to call repeatedly."""
+        with self._lock:
+            return self._ensure_repl()
+
+    def replicaof(self, host: str, port: int) -> None:
+        """Point this server at a master (``REPLICAOF host port``)."""
+        with self._lock:
+            self._replicaof_locked(host, port)
+
+    def promote(self) -> None:
+        """Make this server a master (``REPLICAOF NO ONE``)."""
+        with self._lock:
+            self._promote_locked()
+
+    def _replicaof_locked(self, host: str, port: int) -> None:
+        state = self._ensure_repl()
+        link = self._link
+        if link is not None:
+            # never join under the lock — the link thread may be
+            # blocked on this very lock; it observes the stop event
+            # after every acquisition and unwinds
+            link.request_stop()
+        # a replica serves no feeds: drop them so their clients resync
+        # against whoever is master now
+        for conn in list(self._feed_conns):
+            self._close(conn)
+        state.become_replica(host, port)
+        self._link = ReplicaLink(
+            self.store,
+            state,
+            self._lock,
+            persist=self.store.persistence,
+        )
+        self._link.start()
+
+    def _promote_locked(self) -> None:
+        link = self._link
+        self._link = None
+        if link is not None:
+            link.request_stop()
+        state = self._ensure_repl()
+        state.become_master()
+
+    def _repl_command(
+        self, conn: _Connection, argv: list, out: bytearray
+    ) -> None:
+        """Session hook: replication commands that need the transport.
+
+        Runs on the loop thread, under the execution lock (inside the
+        session's pump). PSYNC replies are deferred to this round's
+        broadcast step so the snapshot/backlog cut lands *after* the
+        round's writes drain — the feed's first stream byte is exactly
+        offset."""
+        name = argv[0].upper()
+        if name == b"PSYNC":
+            if len(argv) != 3:
+                encode_reply_into(
+                    out,
+                    RespError("ERR wrong number of arguments for 'psync'"),
+                )
+                return
+            state = self.store.repl
+            if state is not None and state.role == "replica":
+                encode_reply_into(
+                    out, RespError("ERR Can't SYNC while not master")
+                )
+                return
+            state = self._ensure_repl()
+            state.stream_started = True
+            replid = bytes(argv[1]).decode("ascii", "replace")
+            try:
+                offset = int(argv[2])
+            except ValueError:
+                offset = -1
+            self._psync_requests.append((conn, replid, offset))
+            return  # reply deferred to _broadcast
+        if name == b"REPLCONF":
+            if len(argv) >= 2 and argv[1].upper() == b"ACK":
+                return  # ACK gets no reply (Redis contract)
+            encode_reply_into(out, OK)
+            return
+        if name == b"WAIT":
+            self._handle_wait(argv, out)
+            return
+        if name == b"REPLICAOF":
+            if len(argv) != 3:
+                encode_reply_into(
+                    out,
+                    RespError(
+                        "ERR wrong number of arguments for 'replicaof'"
+                    ),
+                )
+                return
+            if (
+                argv[1].upper() == b"NO"
+                and argv[2].upper() == b"ONE"
+            ):
+                self._promote_locked()
+                encode_reply_into(out, OK)
+                return
+            try:
+                port = int(argv[2])
+            except ValueError:
+                encode_reply_into(
+                    out, RespError("ERR Invalid master port")
+                )
+                return
+            host = bytes(argv[1]).decode("ascii", "replace")
+            self._replicaof_locked(host, port)
+            encode_reply_into(out, OK)
+
+    def _handle_wait(self, argv: list, out: bytearray) -> None:
+        """WAIT numreplicas timeout — block until enough acks arrive.
+
+        Runs under the (non-reentrant) execution lock, so it must not
+        re-enter any locking path: it pushes pending stream bytes to
+        the feeds and pumps their ack sockets *directly* with select,
+        bounded by the timeout. The loop thread stalls for the
+        duration — the documented cost of read-your-writes here."""
+        if len(argv) != 3:
+            encode_reply_into(
+                out, RespError("ERR wrong number of arguments for 'wait'")
+            )
+            return
+        try:
+            numreplicas = int(argv[1])
+            timeout_ms = int(argv[2])
+        except ValueError:
+            encode_reply_into(
+                out,
+                RespError("ERR timeout is not an integer or out of range"),
+            )
+            return
+        state = self.store.repl
+        if state is None or state.role != "master":
+            encode_reply_into(out, 0)
+            return
+        target = state.master_repl_offset
+        # the waited-on writes may still sit in pending: ship them now
+        data = state.drain()
+        for conn in list(self._feed_conns):  # _flush may close + remove
+            if data:
+                conn.out += data
+            if conn.pending and conn.sock.fileno() >= 0:
+                self._flush(conn)
+        budget = timeout_ms / 1000.0 if timeout_ms > 0 else _WAIT_MAX_BLOCK
+        deadline = time.monotonic() + min(budget, _WAIT_MAX_BLOCK)
+        while state.acked_by(target) < numreplicas:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            by_sock = {
+                conn.sock: conn
+                for conn in self._feed_conns
+                if conn.sock.fileno() >= 0
+            }
+            if not by_sock:
+                break
+            try:
+                readable, __, __ = select.select(
+                    list(by_sock), [], [], min(0.05, remaining)
+                )
+            except (OSError, ValueError):
+                break
+            for sock in readable:
+                self._absorb_feed(by_sock[sock])
+        encode_reply_into(out, state.acked_by(target))
+
+    def _broadcast(self, flush_queue: list[_Connection]) -> None:
+        """Ship this round's stream bytes; answer deferred PSYNCs.
+
+        Order matters: existing feeds take the drained bytes first,
+        then new feeds are cut in at the post-drain offset — via the
+        backlog tail (partial) or a fresh snapshot (full), either of
+        which already covers those bytes."""
+        with self._lock:
+            state = self.store.repl
+            if state is None:
+                return
+            data = state.drain() if state.role == "master" else b""
+            if data:
+                for conn in self._feed_conns:
+                    if conn.sock.fileno() < 0:
+                        continue
+                    conn.out += data
+                    if not conn.queued:
+                        conn.queued = True
+                        flush_queue.append(conn)
+            if not self._psync_requests:
+                return
+            requests = self._psync_requests
+            self._psync_requests = []
+            if state.role != "master":
+                # role flipped between request and broadcast: refuse
+                for conn, __, __ in requests:
+                    if conn.sock.fileno() >= 0:
+                        encode_reply_into(
+                            conn.out,
+                            RespError("ERR Can't SYNC while not master"),
+                        )
+                        if not conn.queued:
+                            conn.queued = True
+                            flush_queue.append(conn)
+                return
+            for conn, replid, offset in requests:
+                if conn.sock.fileno() < 0:
+                    continue
+                self._serve_psync(state, conn, replid, offset)
+                if not conn.queued:
+                    conn.queued = True
+                    flush_queue.append(conn)
+
+    def _serve_psync(
+        self,
+        state: ReplicationState,
+        conn: _Connection,
+        replid: str,
+        offset: int,
+    ) -> None:
+        if state.can_partial(replid, offset):
+            conn.out += b"+CONTINUE\r\n"
+            conn.out += state.backlog_since(offset)
+            state.sync_partial_ok += 1
+            ack_init = offset
+        else:
+            if replid != "?":
+                state.sync_partial_err += 1
+            body = snapshot_body(
+                materialize_entries(self.store, time.time()),
+                int(time.time() * 1000),
+            )
+            conn.out += (
+                f"+FULLRESYNC {state.replid} "
+                f"{state.master_repl_offset}\r\n"
+                f"${len(body)}\r\n"
+            ).encode()
+            conn.out += body
+            state.sync_full += 1
+            # nothing is acked until the replica says so: WAIT must not
+            # count a replica that is still loading the snapshot
+            ack_init = 0
+        try:
+            peer = "%s:%d" % conn.sock.getpeername()[:2]
+        except OSError:
+            peer = "?:?"
+        conn.feed = state.register_feed(peer, ack_init)
+        self._feed_conns.append(conn)
+
+    def _absorb_feed(self, conn: _Connection) -> bool:
+        """Drain REPLCONF ACKs from a feed socket (lock-free: feed
+        state is only ever touched on the loop thread)."""
+        parser = conn.parser
+        try:
+            with parser.recv_view(_RECV_SIZE) as view:
+                nbytes = conn.sock.recv_into(view)
+        except (BlockingIOError, InterruptedError):
+            return True
+        except OSError:
+            self._close(conn)
+            return False
+        if not nbytes:
+            self._close(conn)
+            return False
+        parser.commit_recv(nbytes)
+        state = self.store.repl
+        feed = conn.feed
+        try:
+            frames = parser.parse_all()
+        except ProtocolError:
+            self._close(conn)  # a feed that talks garbage must resync
+            return False
+        for argv in frames:
+            if (
+                type(argv) is list
+                and len(argv) == 3
+                and argv[0].upper() == b"REPLCONF"
+                and argv[1].upper() == b"ACK"
+            ):
+                try:
+                    ack = int(argv[2])
+                except ValueError:
+                    continue
+                if state is not None and feed is not None:
+                    state.note_ack(feed, ack)
+        return True
 
     # -- shutdown ------------------------------------------------------
 
@@ -515,7 +882,8 @@ def TcpKvServer(
     The event loop is the default serving plane; pass ``threaded=True``
     to get the thread-per-connection baseline for A/B benchmarking.
     Extra keyword ``options`` (``output_buffer_limit``,
-    ``shutdown_flush_timeout``) configure the event loop and are
+    ``shutdown_flush_timeout``, ``repl_backlog``,
+    ``repl_output_buffer_limit``) configure the event loop and are
     rejected for the threaded baseline.
     """
     if threaded:

@@ -10,7 +10,14 @@ command order with error replies in place.
 The driver never raises on an error *reply*: under soft-memory
 pressure OOM denials are the phenomenon being measured, not a test
 failure. Errors are classified by prefix (``OOM`` / ``MOVED`` /
-``CROSSSLOT`` / other) and tallied in the report.
+``READONLY`` / ``CROSSSLOT`` / other) and tallied in the report.
+
+Read scaling: pass ``replica_client`` and a ``read_from_replica``
+fraction to route that share of read ops at a replica. Routing is a
+deterministic fractional accumulator (no RNG — the same stream always
+routes the same way), and replica reads that come back empty are
+*counted* as stale, never raised: replication lag is a phenomenon the
+report surfaces, not a driver failure.
 """
 
 from __future__ import annotations
@@ -27,6 +34,13 @@ __all__ = ["DriverReport", "PipelinedClient", "drive"]
 
 class PipelinedClient(Protocol):
     def execute_pipeline(self, *commands: tuple) -> list[object]: ...
+
+
+#: verbs safe to serve from a read-only replica
+_READ_VERBS = frozenset((
+    b"GET", b"MGET", b"EXISTS", b"TTL", b"PTTL", b"STRLEN",
+    b"HGET", b"HGETALL", b"HLEN", b"LRANGE", b"LLEN", b"LINDEX",
+))
 
 
 def _percentile(samples: list[float], fraction: float) -> float:
@@ -48,7 +62,13 @@ class DriverReport:
     oom_denials: int = 0
     moved_errors: int = 0
     crossslot_errors: int = 0
+    readonly_errors: int = 0
     other_errors: int = 0
+    #: read ops routed to the replica client
+    replica_reads: int = 0
+    #: replica-routed reads that returned nothing — an upper bound on
+    #: stale reads (the key may be mid-replication or truly absent)
+    replica_stale_reads: int = 0
     verbs: dict[str, int] = field(default_factory=dict)
     batch_latencies: list[float] = field(default_factory=list)
 
@@ -75,6 +95,9 @@ class DriverReport:
             self.moved_errors += 1
         elif message.startswith("CROSSSLOT"):
             self.crossslot_errors += 1
+        elif message.startswith("READONLY"):
+            # a write landed on a replica: topology skew, not load
+            self.readonly_errors += 1
         else:
             self.other_errors += 1
 
@@ -90,9 +113,36 @@ class DriverReport:
             "oom_denials": self.oom_denials,
             "moved_errors": self.moved_errors,
             "crossslot_errors": self.crossslot_errors,
+            "readonly_errors": self.readonly_errors,
             "other_errors": self.other_errors,
+            "replica_reads": self.replica_reads,
+            "replica_stale_reads": self.replica_stale_reads,
             "verbs": dict(sorted(self.verbs.items())),
         }
+
+
+class _ReplicaRouter:
+    """Deterministic fractional-accumulator read routing.
+
+    Every read op adds ``fraction``; each time the accumulator crosses
+    1 the op goes to the replica. A 0.25 fraction routes exactly every
+    fourth read — same stream, same routing, run after run.
+    """
+
+    def __init__(self, fraction: float) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"read_from_replica must be in [0,1]: {fraction}")
+        self.fraction = fraction
+        self._acc = 0.0
+
+    def takes(self, op: Op) -> bool:
+        if op[0].upper() not in _READ_VERBS:
+            return False
+        self._acc += self.fraction
+        if self._acc >= 1.0:
+            self._acc -= 1.0
+            return True
+        return False
 
 
 def drive(
@@ -102,6 +152,8 @@ def drive(
     max_ops: int | None = None,
     duration: float | None = None,
     report: DriverReport | None = None,
+    replica_client: PipelinedClient | None = None,
+    read_from_replica: float = 0.0,
 ) -> DriverReport:
     """Send batches until ``max_ops`` ops or ``duration`` seconds.
 
@@ -111,28 +163,77 @@ def drive(
     does not eat a later call's budget.
     Replies are counted, classified, and *verified in number*: a
     reply-count mismatch means client/server desync and does raise.
+
+    With ``replica_client`` set, ``read_from_replica`` of the read ops
+    are split out of each batch and pipelined at the replica; their
+    empty replies count as ``replica_stale_reads`` in the report.
     """
     if max_ops is None and duration is None:
         raise ValueError("drive() needs max_ops and/or duration")
+    if replica_client is None and read_from_replica:
+        raise ValueError("read_from_replica needs a replica_client")
+    router = (
+        _ReplicaRouter(read_from_replica)
+        if replica_client is not None
+        else None
+    )
     rep = report if report is not None else DriverReport()
     ops_before = rep.ops
     started = time.perf_counter()
     deadline = started + duration if duration is not None else None
     for batch in batches:
+        if router is not None:
+            primary_ops: list[Op] = []
+            replica_ops: list[Op] = []
+            routing = []  # per-op: which reply stream it came from
+            for op in batch:
+                if router.takes(op):
+                    routing.append(True)
+                    replica_ops.append(op)
+                else:
+                    routing.append(False)
+                    primary_ops.append(op)
+        else:
+            primary_ops, replica_ops, routing = batch, [], None
         t0 = time.perf_counter()
-        replies = client.execute_pipeline(*batch)
+        primary_replies = (
+            client.execute_pipeline(*primary_ops) if primary_ops else []
+        )
+        replica_replies = (
+            replica_client.execute_pipeline(*replica_ops)
+            if replica_ops
+            else []
+        )
         t1 = time.perf_counter()
-        if len(replies) != len(batch):
+        if len(primary_replies) != len(primary_ops) or len(
+            replica_replies
+        ) != len(replica_ops):
             raise RuntimeError(
-                f"desync: {len(batch)} commands, {len(replies)} replies"
+                f"desync: {len(batch)} commands, "
+                f"{len(primary_replies) + len(replica_replies)} replies"
             )
+        if routing is None:
+            replies: list[object] = primary_replies
+        else:
+            primary_it = iter(primary_replies)
+            replica_it = iter(replica_replies)
+            replies = [
+                next(replica_it) if from_replica else next(primary_it)
+                for from_replica in routing
+            ]
         rep.batches += 1
         rep.ops += len(batch)
         rep.batch_latencies.append(t1 - t0)
-        for op, reply in zip(batch, replies):
+        for op, reply, on_replica in zip(
+            batch, replies, routing or (False,) * len(batch)
+        ):
             verb = op[0].decode().lower()
             rep.verbs[verb] = rep.verbs.get(verb, 0) + 1
             rep.note_reply(reply)
+            if on_replica:
+                rep.replica_reads += 1
+                if reply is None:
+                    rep.replica_stale_reads += 1
         if max_ops is not None and rep.ops - ops_before >= max_ops:
             break
         if deadline is not None and t1 >= deadline:

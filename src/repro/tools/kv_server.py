@@ -56,6 +56,8 @@ def build_server(
     cluster_shard: int | None = None,
     cluster_nodes: str | None = None,
     tier: bool = True,
+    replicaof: str | None = None,
+    repl_backlog: int | None = None,
     name: str = "kv-server",
 ):
     """Construct (store, persistence-or-None, unstarted server).
@@ -69,7 +71,13 @@ def build_server(
     (forfeiting the budget back to the machine-wide ledger).
     ``cluster_shard``/``cluster_nodes`` attach the hash-slot topology;
     the node's own host:port from the table overrides ``host``/``port``.
+    ``replicaof`` ("host:port") boots the process as a read-only
+    replica: after local recovery it dials the master, full-syncs (or
+    partial-resyncs from the backlog), and applies the stream through
+    its own SMA budget. Requires the event-loop server.
     """
+    if replicaof is not None and threaded:
+        raise ValueError("--replicaof requires the event-loop server")
     if cluster_shard is not None:
         if not cluster_nodes:
             raise ValueError("--cluster-shard requires --cluster-nodes")
@@ -120,7 +128,17 @@ def build_server(
             )
         )
         store.attach_persistence(persistence)  # recovery happens here
-    server = TcpKvServer(store, host, port, threaded=threaded)
+    options: dict = {}
+    if repl_backlog is not None:
+        options["repl_backlog"] = repl_backlog
+    server = TcpKvServer(store, host, port, threaded=threaded, **options)
+    if replicaof is not None:
+        master_host, _, master_port = replicaof.rpartition(":")
+        if not master_host or not master_port.isdigit():
+            raise ValueError("--replicaof wants HOST:PORT")
+        # engaged before start(): no connections exist yet, the link
+        # dials as soon as the thread spins up
+        server.replicaof(master_host, int(master_port))
     return store, persistence, server
 
 
@@ -214,6 +232,18 @@ def main(argv: list[str] | None = None) -> int:
         default="on",
         help="compressed second-chance tier (demote-before-drop)",
     )
+    parser.add_argument(
+        "--replicaof",
+        default=None,
+        metavar="HOST:PORT",
+        help="boot as a read-only replica of this master",
+    )
+    parser.add_argument(
+        "--repl-backlog",
+        type=int,
+        default=None,
+        help="replication backlog ring capacity in bytes",
+    )
     args = parser.parse_args(argv)
 
     if args.dir is None and args.appendonly == "yes" and "--appendonly" in (
@@ -233,6 +263,8 @@ def main(argv: list[str] | None = None) -> int:
         cluster_shard=args.cluster_shard,
         cluster_nodes=args.cluster_nodes,
         tier=args.tier == "on",
+        replicaof=args.replicaof,
+        repl_backlog=args.repl_backlog,
     )
     shutdown = GracefulShutdown(server, persistence, store.smd_agent)
     signal.signal(signal.SIGTERM, shutdown.request)

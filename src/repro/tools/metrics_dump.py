@@ -97,6 +97,13 @@ def parse_addr(spec: str, *, default_host: str = "127.0.0.1") -> tuple[str, int]
     return (host or default_host, int(port))
 
 
+#: ``addr -> last # Replication section seen`` — a process-lifetime
+#: cache so a shard that stops answering mid-experiment still reports
+#: its last-known replication offset (marked stale) instead of the
+#: section silently vanishing from the dump
+_LAST_REPLICATION: dict[str, dict[str, Any]] = {}
+
+
 def cluster_snapshot(
     addresses: list[tuple[str, int]], *, slowlog_count: int = 16
 ) -> dict[str, Any]:
@@ -104,7 +111,11 @@ def cluster_snapshot(
 
     Shards that refuse the connection are recorded as
     ``{"address": ..., "error": ...}`` rather than failing the whole
-    dump — a cluster mid-restart still yields a useful document.
+    dump — a cluster mid-restart still yields a useful document. When
+    the shard answered earlier in this process's lifetime, its
+    last-known ``# Replication`` section rides along under
+    ``replication`` with ``replication_stale: true`` — during failover
+    triage the dead node's final offset is the whole point.
 
     ``tier_total`` sums the ``tier.*`` second-chance gauges from each
     shard's ``# SoftMemory`` section (every shard runs its own tier
@@ -116,11 +127,20 @@ def cluster_snapshot(
     tier_totals: dict[str, Any] = {}
     reachable = 0
     for host, port in addresses:
+        address = f"{host}:{port}"
         try:
             shard = snapshot(host, port, slowlog_count=slowlog_count)
         except (OSError, ConnectionError) as exc:
-            shards.append({"address": f"{host}:{port}", "error": str(exc)})
+            entry: dict[str, Any] = {"address": address, "error": str(exc)}
+            known = _LAST_REPLICATION.get(address)
+            if known is not None:
+                entry["replication"] = known
+                entry["replication_stale"] = True
+            shards.append(entry)
             continue
+        replication = shard["info"].get("Replication")
+        if replication:
+            _LAST_REPLICATION[address] = dict(replication)
         shards.append(shard)
         reachable += 1
         for key, value in shard["info"].get("Stats", {}).items():

@@ -1,0 +1,108 @@
+"""SyncHandshake: the incremental PSYNC-reply parser.
+
+The parser must produce identical results regardless of how the
+master's reply is split across reads (sockets fragment arbitrarily),
+refuse malformed replies loudly, and hand back any stream bytes that
+rode in with the handshake — losing them would silently skip records.
+"""
+
+import pytest
+
+from repro.kvstore.repl import SyncHandshake
+from repro.kvstore.repl.link import HandshakeError
+
+
+def fullresync_reply(
+    replid: str = "a" * 40,
+    offset: int = 1234,
+    payload: bytes = b"snapshot-bytes",
+    leftover: bytes = b"",
+) -> bytes:
+    head = f"+FULLRESYNC {replid} {offset}\r\n${len(payload)}\r\n"
+    return head.encode() + payload + leftover
+
+
+class TestFullResync:
+    def test_one_shot(self):
+        result = SyncHandshake().feed(fullresync_reply())
+        assert result == (
+            "FULLRESYNC", "a" * 40, 1234, b"snapshot-bytes", b""
+        )
+
+    def test_leftover_stream_bytes_survive(self):
+        result = SyncHandshake().feed(
+            fullresync_reply(leftover=b"stream-tail")
+        )
+        assert result[3] == b"snapshot-bytes"
+        assert result[4] == b"stream-tail"
+
+    def test_byte_at_a_time(self):
+        # fed one byte at a time the handshake completes exactly on the
+        # payload's last byte — leftover is only ever bytes that rode
+        # in the same read, so here it is empty
+        reply = fullresync_reply(payload=b"xyz")
+        handshake = SyncHandshake()
+        result = None
+        for i, byte in enumerate(reply):
+            assert result is None, f"completed early at byte {i}"
+            result = handshake.feed(bytes([byte]))
+        assert result == ("FULLRESYNC", "a" * 40, 1234, b"xyz", b"")
+        assert handshake.result is result
+
+    def test_empty_payload(self):
+        result = SyncHandshake().feed(fullresync_reply(payload=b""))
+        assert result[3] == b""
+
+    def test_feed_after_complete_is_an_error(self):
+        handshake = SyncHandshake()
+        handshake.feed(fullresync_reply())
+        with pytest.raises(RuntimeError):
+            handshake.feed(b"more")
+
+
+class TestContinue:
+    def test_bare_continue(self):
+        assert SyncHandshake().feed(b"+CONTINUE\r\n") == ("CONTINUE", b"")
+
+    def test_continue_with_stream_tail(self):
+        result = SyncHandshake().feed(b"+CONTINUE\r\nframes")
+        assert result == ("CONTINUE", b"frames")
+
+    def test_split_mid_crlf(self):
+        handshake = SyncHandshake()
+        assert handshake.feed(b"+CONTINUE\r") is None
+        assert handshake.feed(b"\ntail") == ("CONTINUE", b"tail")
+
+
+class TestRefusals:
+    def test_error_line_raises(self):
+        with pytest.raises(HandshakeError, match="Can't SYNC"):
+            SyncHandshake().feed(b"-ERR Can't SYNC while not master\r\n")
+
+    @pytest.mark.parametrize(
+        "reply",
+        [
+            b"+WAT\r\n",
+            b"+FULLRESYNC tooshort 5\r\n",
+            b"+FULLRESYNC " + b"a" * 40 + b" -5\r\n",
+            b"+FULLRESYNC " + b"a" * 40 + b" x\r\n",
+            b"+FULLRESYNC " + b"a" * 40 + b"\r\n",
+        ],
+    )
+    def test_malformed_status_line(self, reply):
+        with pytest.raises(HandshakeError):
+            SyncHandshake().feed(reply)
+
+    @pytest.mark.parametrize(
+        "bulk", [b"*3\r\n", b"$-1\r\n", b"$nope\r\n"]
+    )
+    def test_malformed_bulk_header(self, bulk):
+        head = b"+FULLRESYNC " + b"a" * 40 + b" 0\r\n"
+        with pytest.raises(HandshakeError):
+            SyncHandshake().feed(head + bulk)
+
+    def test_oversized_line_is_refused_not_buffered(self):
+        # a garbage peer must not make the replica buffer unbounded
+        # bytes hunting for a CRLF that never comes
+        with pytest.raises(HandshakeError, match="oversized"):
+            SyncHandshake().feed(b"+" + b"x" * 600)

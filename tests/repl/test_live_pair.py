@@ -1,0 +1,216 @@
+"""Live in-process master↔replica pairs over real sockets.
+
+These tests run full :class:`EventLoopKvServer` instances in one
+process (real TCP, real ReplicaLink threads) and exercise the
+replication contract end to end: full sync, incremental streaming,
+tombstone propagation, WAIT, read-only enforcement, partial resync,
+and the promotion chain an ex-sibling rides after a master dies.
+"""
+
+import time
+
+import pytest
+
+from repro.core.locking import LockedSoftMemoryAllocator
+from repro.kvstore.resp import RespError
+from repro.kvstore.store import DataStore
+from repro.kvstore.tcp import EventLoopKvServer, TcpKvClient
+
+pytestmark = pytest.mark.timeout(120)
+
+
+def make_server(name: str, **options) -> EventLoopKvServer:
+    store = DataStore(LockedSoftMemoryAllocator(name=name))
+    return EventLoopKvServer(store, **options).start()
+
+
+def wait_until(cond, timeout: float = 15.0, interval: float = 0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if cond():
+            return
+        time.sleep(interval)
+    assert cond(), "condition never became true"
+
+
+def info_dict(client: TcpKvClient) -> dict[str, str]:
+    text = bytes(client.execute("INFO")).decode()
+    out = {}
+    for line in text.splitlines():
+        if ":" in line and not line.startswith("#"):
+            key, __, value = line.partition(":")
+            out[key] = value
+    return out
+
+
+def wait_for_feeds(master: EventLoopKvServer, count: int = 1):
+    """Block until ``count`` replicas finished PSYNC and are attached.
+
+    WAIT only counts attached feeds, so tests that write little and
+    WAIT immediately must not race the replica's initial sync.
+    """
+    wait_until(
+        lambda: master.store.repl is not None
+        and len(master.store.repl.feeds) >= count
+    )
+
+
+@pytest.fixture
+def pair():
+    master = make_server("repl-master")
+    replica = make_server("repl-replica")
+    replica.replicaof(*master.address)
+    wait_for_feeds(master)
+    yield master, replica
+    replica.stop()
+    master.stop()
+
+
+class TestFullSyncAndStream:
+    def test_full_sync_then_incremental(self, pair):
+        master, replica = pair
+        with TcpKvClient(master.address) as mc:
+            for i in range(100):
+                mc.execute("SET", f"k{i}", f"v{i}")
+            assert mc.execute("WAIT", 1, 5000) == 1
+            with TcpKvClient(replica.address) as rc:
+                assert rc.execute("GET", "k99") == b"v99"
+                assert rc.execute("DBSIZE") == 100
+                # incremental: a write after sync streams across
+                mc.execute("SET", "post", "sync")
+                wait_until(lambda: rc.execute("GET", "post") == b"sync")
+
+    def test_offsets_and_replid_agree(self, pair):
+        master, replica = pair
+        with TcpKvClient(master.address) as mc:
+            mc.execute("SET", "a", "1")
+            assert mc.execute("WAIT", 1, 5000) == 1
+            with TcpKvClient(replica.address) as rc:
+                m_info, r_info = info_dict(mc), info_dict(rc)
+        assert m_info["role"] == "master"
+        assert r_info["role"] == "replica"
+        assert r_info["master_link_status"] == "up"
+        assert m_info["replid"] == r_info["replid"]
+        assert m_info["master_repl_offset"] == r_info["master_repl_offset"]
+
+    def test_replica_refuses_writes(self, pair):
+        master, replica = pair
+        with TcpKvClient(master.address) as mc:
+            mc.execute("SET", "a", "1")
+            mc.execute("WAIT", 1, 5000)
+        with TcpKvClient(replica.address) as rc:
+            with pytest.raises(RespError) as excinfo:
+                rc.execute("SET", "b", "2")
+        assert excinfo.value.message.startswith("READONLY")
+
+    def test_wait_zero_replicas_is_immediate(self):
+        server = make_server("repl-lonely")
+        try:
+            with TcpKvClient(server.address) as client:
+                client.execute("SET", "a", "1")
+                assert client.execute("WAIT", 0, 0) == 0
+        finally:
+            server.stop()
+
+    def test_expiring_write_replicates_with_ttl(self, pair):
+        master, replica = pair
+        with TcpKvClient(master.address) as mc:
+            mc.execute("SET", "ttl-key", "x", "EX", "100")
+            assert mc.execute("WAIT", 1, 5000) == 1
+            with TcpKvClient(replica.address) as rc:
+                ttl = rc.execute("TTL", "ttl-key")
+        assert 90 <= ttl <= 100
+
+
+class TestTombstonePropagation:
+    def test_reclamation_travels_the_stream(self, pair):
+        master, replica = pair
+        with TcpKvClient(master.address) as mc:
+            for i in range(200):
+                mc.execute("SET", f"victim{i}", "x" * 64)
+            assert mc.execute("WAIT", 1, 5000) == 1
+            # shed pages: every dropped key emits a T record
+            reclaimed = mc.execute("MEMORY", "PURGE", "4")
+            assert reclaimed > 0
+            target = master.store.repl.master_repl_offset
+            assert mc.execute("WAIT", 1, 5000) == 1
+            with TcpKvClient(replica.address) as rc:
+                wait_until(
+                    lambda: replica.store.repl.master_repl_offset >= target
+                )
+                # dropped-stays-dropped holds fleet-wide: both ends
+                # agree on the keyspace after the purge
+                assert rc.execute("DBSIZE") == mc.execute("DBSIZE")
+        state = replica.store.repl
+        assert state.tombstones_applied > 0
+
+
+class TestResyncPaths:
+    def test_reconnect_partial_resyncs_from_backlog(self, pair):
+        master, replica = pair
+        with TcpKvClient(master.address) as mc:
+            mc.execute("SET", "a", "1")
+            assert mc.execute("WAIT", 1, 5000) == 1
+            # bounce the link: the new session offers (replid, offset)
+            # and the master still holds that offset in its backlog
+            replica.replicaof(*master.address)
+            wait_until(lambda: replica.store.repl.partial_syncs_done >= 1)
+            assert master.store.repl.sync_partial_ok >= 1
+            assert master.store.repl.sync_full == 1
+            mc.execute("SET", "b", "2")
+            with TcpKvClient(replica.address) as rc:
+                wait_until(lambda: rc.execute("GET", "b") == b"2")
+
+    def test_promotion_serves_writes_and_exsibling_partials(self):
+        master = make_server("chain-master")
+        b = make_server("chain-b")
+        c = make_server("chain-c")
+        try:
+            b.replicaof(*master.address)
+            c.replicaof(*master.address)
+            wait_for_feeds(master, 2)
+            with TcpKvClient(master.address) as mc:
+                for i in range(50):
+                    mc.execute("SET", f"k{i}", f"v{i}")
+                assert mc.execute("WAIT", 2, 10000) == 2
+            # the master dies; B is promoted and keeps the replid +
+            # offset, so C partial-resyncs instead of a full transfer
+            master.stop()
+            b.promote()
+            c.replicaof(*b.address)
+            wait_until(lambda: c.store.repl.partial_syncs_done >= 1)
+            assert b.store.repl.sync_partial_ok >= 1
+            assert b.store.repl.sync_full == 0
+            with TcpKvClient(b.address) as bc:
+                bc.execute("SET", "after", "failover")
+                assert bc.execute("WAIT", 1, 5000) == 1
+                with TcpKvClient(c.address) as cc:
+                    assert cc.execute("GET", "after") == b"failover"
+                    assert cc.execute("GET", "k49") == b"v49"
+        finally:
+            c.stop()
+            b.stop()
+            master.stop()
+
+    def test_stale_offset_falls_back_to_full_sync(self):
+        master = make_server("stale-master", repl_backlog=256)
+        replica = make_server("stale-replica")
+        try:
+            replica.replicaof(*master.address)
+            wait_for_feeds(master)
+            with TcpKvClient(master.address) as mc:
+                mc.execute("SET", "a", "1")
+                assert mc.execute("WAIT", 1, 5000) == 1
+                # detach, then push the backlog origin far past the
+                # replica's offset: partial must be refused
+                replica.promote()
+                for i in range(50):
+                    mc.execute("SET", f"fill{i}", "x" * 32)
+                replica.replicaof(*master.address)
+                wait_until(lambda: replica.store.repl.full_syncs_done >= 2)
+                assert master.store.repl.sync_partial_err >= 1
+                with TcpKvClient(replica.address) as rc:
+                    wait_until(lambda: rc.execute("GET", "fill49") == b"x" * 32)
+        finally:
+            replica.stop()
+            master.stop()

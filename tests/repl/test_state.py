@@ -1,0 +1,222 @@
+"""ReplicationState: offsets, the backlog ring, and role transitions.
+
+Pure in-memory tests — no sockets. The invariants here are the ones
+the wire protocol leans on: offsets advance by exactly the encoded
+byte count, the backlog covers ``[backlog_off, backlog_off+len)``,
+``can_partial`` is inclusive of the window's end (a fully-caught-up
+replica partial-resyncs to an empty tail, not a full sync), and
+promotion keeps the stream coordinates while a full sync discards
+them.
+"""
+
+import pytest
+
+from repro.kvstore.persist.codec import (
+    EXP_ABSOLUTE,
+    EXP_KEEP,
+    EXP_NONE,
+    decode_record,
+    encode_delete,
+    encode_tombstone,
+    encode_write,
+    scan_frames,
+)
+from repro.kvstore.repl import ReplicationState
+
+
+def encoded_len(encoder, *args) -> int:
+    out = bytearray()
+    encoder(out, *args)
+    return len(out)
+
+
+class TestOffsets:
+    def test_offset_advances_by_encoded_bytes(self):
+        state = ReplicationState()
+        state.stream_started = True
+        state.log_write(b"k", b"v", None, False)
+        expected = encoded_len(encode_write, b"k", b"v", EXP_NONE)
+        assert state.master_repl_offset == expected
+        assert len(state.pending) == expected
+        state.log_delete(b"k")
+        expected += encoded_len(encode_delete, b"k")
+        assert state.master_repl_offset == expected
+
+    def test_taps_inert_until_stream_started(self):
+        state = ReplicationState()
+        state.log_write(b"k", b"v", None, False)
+        state.log_tombstone(b"k")
+        state.log_flush()
+        assert state.master_repl_offset == 0
+        assert not state.pending
+
+    def test_taps_inert_on_replica(self):
+        state = ReplicationState()
+        state.stream_started = True
+        state.become_replica("127.0.0.1", 1234)
+        state.log_write(b"k", b"v", None, False)
+        assert state.master_repl_offset == 0
+        assert not state.pending
+
+    def test_expiring_write_encodes_absolute_deadline(self):
+        state = ReplicationState(clock=lambda: 1000.0)
+        state.stream_started = True
+        state.log_write(b"k", b"v", 5.0, False)
+        payloads, valid = scan_frames(bytes(state.pending))
+        assert valid == len(state.pending)
+        kind, key, value, exp_kind, deadline = decode_record(payloads[0])
+        assert (kind, key, value) == ("W", b"k", b"v")
+        assert exp_kind == EXP_ABSOLUTE
+        assert deadline == 1_005_000  # (1000 + 5) seconds, in unix ms
+
+    def test_keepttl_write_encodes_keep(self):
+        state = ReplicationState()
+        state.stream_started = True
+        state.log_write(b"k", b"v", None, True)
+        payloads, __ = scan_frames(bytes(state.pending))
+        assert decode_record(payloads[0])[3] == EXP_KEEP
+
+
+class TestBacklogRing:
+    def test_drain_moves_pending_into_backlog(self):
+        state = ReplicationState()
+        state.stream_started = True
+        state.log_write(b"k", b"v", None, False)
+        data = state.drain()
+        assert data and not state.pending
+        assert bytes(state.backlog) == data
+        assert state.backlog_off == 0
+        assert state.drain() == b""  # idempotent when empty
+
+    def test_ring_trims_front_and_advances_origin(self):
+        state = ReplicationState(backlog_capacity=64)
+        state.stream_started = True
+        total = 0
+        for i in range(20):
+            state.log_write(b"key%d" % i, b"x" * 16, None, False)
+            state.drain()
+            total = state.master_repl_offset
+        assert len(state.backlog) <= 64
+        assert state.backlog_off == total - len(state.backlog)
+
+    def test_can_partial_window_is_inclusive(self):
+        state = ReplicationState(backlog_capacity=64)
+        state.stream_started = True
+        for i in range(20):
+            state.log_write(b"key%d" % i, b"x" * 16, None, False)
+            state.drain()
+        lo = state.backlog_off
+        hi = state.backlog_off + len(state.backlog)
+        assert state.can_partial(state.replid, lo)
+        assert state.can_partial(state.replid, hi)  # fully caught up
+        assert not state.can_partial(state.replid, lo - 1)
+        assert not state.can_partial(state.replid, hi + 1)
+        assert not state.can_partial("0" * 40, lo)  # wrong lineage
+        assert not state.can_partial(state.replid, -1)
+
+    def test_backlog_since_returns_exact_tail(self):
+        state = ReplicationState()
+        state.stream_started = True
+        state.log_write(b"a", b"1", None, False)
+        cut = state.master_repl_offset
+        state.log_write(b"b", b"2", None, False)
+        whole = state.drain()
+        assert state.backlog_since(cut) == whole[cut:]
+        assert state.backlog_since(state.master_repl_offset) == b""
+
+    def test_note_applied_mirrors_master_arithmetic(self):
+        master = ReplicationState()
+        master.stream_started = True
+        master.log_write(b"k", b"v", None, False)
+        data = master.drain()
+        replica = ReplicationState()
+        replica.become_replica("127.0.0.1", 1)
+        replica.note_applied(data, 1)
+        assert replica.master_repl_offset == master.master_repl_offset
+        assert bytes(replica.backlog) == data
+        assert replica.applied_records == 1
+
+
+class TestRoleTransitions:
+    def test_become_master_keeps_stream_coordinates(self):
+        state = ReplicationState()
+        state.become_replica("127.0.0.1", 1)
+        state.adopt("a" * 40, 500)
+        state.note_applied(b"x" * 10, 0)
+        state.become_master()
+        # psync2-lite: an ex-sibling at offset 505 must partial-resync
+        assert state.role == "master"
+        assert state.replid == "a" * 40
+        assert state.master_repl_offset == 510
+        assert state.stream_started
+        assert state.can_partial("a" * 40, 505)
+
+    def test_adopt_discards_dead_coordinates(self):
+        state = ReplicationState()
+        state.stream_started = True
+        state.log_write(b"k", b"v", None, False)
+        state.drain()
+        state.become_replica("127.0.0.1", 1)
+        state.adopt("b" * 40, 9000)
+        assert state.replid == "b" * 40
+        assert state.master_repl_offset == 9000
+        assert not state.backlog and not state.pending
+        assert state.backlog_off == 9000
+
+    def test_become_replica_drops_feeds(self):
+        state = ReplicationState()
+        state.register_feed("127.0.0.1:5", 0)
+        state.become_replica("127.0.0.1", 1)
+        assert state.feeds == []
+        assert state.link_status == "connect"
+
+
+class TestFeeds:
+    def test_ack_bookkeeping_and_wait_count(self):
+        state = ReplicationState(clock=lambda: 42.0)
+        a = state.register_feed("127.0.0.1:1", 0)
+        b = state.register_feed("127.0.0.1:2", 0)
+        state.note_ack(a, 100)
+        state.note_ack(b, 50)
+        assert state.acked_by(50) == 2
+        assert state.acked_by(100) == 1
+        assert state.acked_by(101) == 0
+        state.note_ack(a, 90)  # acks never regress
+        assert a.ack_offset == 100
+        assert a.last_ack_unix == 42.0
+        state.drop_feed(a)
+        assert state.acked_by(50) == 1 and not a.connected
+
+    def test_info_lines_per_role(self):
+        state = ReplicationState()
+        state.stream_started = True
+        state.log_write(b"k", b"v", None, False)
+        offset = state.master_repl_offset
+        state.register_feed("127.0.0.1:1", offset)
+        master_info = "\n".join(state.info_lines())
+        assert "role:master" in master_info
+        assert (
+            f"replica0:addr=127.0.0.1:1,ack_offset={offset},lag=0"
+            in master_info
+        )
+        state.become_replica("10.0.0.1", 6379)
+        replica_info = "\n".join(state.info_lines())
+        assert "role:replica" in replica_info
+        assert "master_host:10.0.0.1" in replica_info
+        assert "master_link_status:connect" in replica_info
+        assert "tombstones_applied:0" in replica_info
+
+    def test_rejects_nonpositive_backlog(self):
+        with pytest.raises(ValueError):
+            ReplicationState(backlog_capacity=0)
+
+
+class TestTombstoneRecords:
+    def test_tombstone_travels_as_T(self):
+        state = ReplicationState()
+        state.stream_started = True
+        state.log_tombstone(b"victim")
+        payloads, __ = scan_frames(bytes(state.pending))
+        assert decode_record(payloads[0]) == ("T", b"victim")
+        expected = encoded_len(encode_tombstone, b"victim")
+        assert state.master_repl_offset == expected
